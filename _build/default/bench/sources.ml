@@ -1,0 +1,148 @@
+(* The paper's listings, shared by the benchmark harness. Identical to the
+   examples' sources; duplicated here only because dune keeps example and
+   bench module trees separate. *)
+
+let valve =
+  {|
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.clean = Pin(28, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+|}
+
+let bad_sector =
+  {|
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                print("a failed")
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                print("b failed")
+                self.a.close()
+                return []
+|}
+
+let listing31_sector =
+  {|
+@sys(["a"])
+class Sector:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial
+    def open_a(self):
+        if self.gauge.ok():
+            return ["close_a", "open_b"]
+        else:
+            return ["clean_a"]
+
+    @op
+    def clean_a(self):
+        return ["open_a"]
+
+    @op
+    def close_a(self):
+        return ["open_a"]
+
+    @op_final
+    def open_b(self):
+        if done:
+            return []
+        else:
+            return []
+|}
+
+(* Synthetic composite with [n] middle operations chained in a ring, each
+   exercising the valve — used for scaling benchmarks. *)
+let chain_composite n =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "@sys([\"v\"])\nclass Chain:\n    def __init__(self):\n        self.v = Valve()\n\n";
+  let op_name i = Printf.sprintf "step%d" i in
+  for i = 0 to n - 1 do
+    let decorator =
+      if i = 0 then "@op_initial" else if i = n - 1 then "@op_final" else "@op"
+    in
+    let next = if i = n - 1 then "" else Printf.sprintf "\"%s\"" (op_name (i + 1)) in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    %s\n    def %s(self):\n        match self.v.test():\n            case [\"open\"]:\n                self.v.open()\n                self.v.close()\n                return [%s]\n            case [\"clean\"]:\n                self.v.clean()\n                return [%s]\n\n"
+         decorator (op_name i) next next)
+  done;
+  Buffer.contents buf
+
+(* Like [chain_composite], but the final operation leaves the valve open —
+   the verifier must walk the whole chain to exhibit the violation, which
+   makes counterexample depth proportional to [n]. *)
+let chain_with_leak n =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "@sys([\"v\"])\nclass LeakyChain:\n    def __init__(self):\n        self.v = Valve()\n\n";
+  let op_name i = Printf.sprintf "step%d" i in
+  for i = 0 to n - 1 do
+    let decorator =
+      if i = 0 && n = 1 then "@op_initial_final"
+      else if i = 0 then "@op_initial"
+      else if i = n - 1 then "@op_final"
+      else "@op"
+    in
+    let next = if i = n - 1 then "" else Printf.sprintf "\"%s\"" (op_name (i + 1)) in
+    if i = n - 1 then
+      (* The bug: test, open, but never close. *)
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %s\n    def %s(self):\n        match self.v.test():\n            case [\"open\"]:\n                self.v.open()\n                return []\n            case [\"clean\"]:\n                self.v.clean()\n                return []\n\n"
+           decorator (op_name i))
+    else
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    %s\n    def %s(self):\n        match self.v.test():\n            case [\"open\"]:\n                self.v.open()\n                self.v.close()\n                return [%s]\n            case [\"clean\"]:\n                self.v.clean()\n                return [%s]\n\n"
+           decorator (op_name i) next next)
+  done;
+  Buffer.contents buf

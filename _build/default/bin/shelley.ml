@@ -1,0 +1,469 @@
+(* The shelley command-line tool: verify annotated MicroPython sources,
+   inspect extracted models, render diagrams, and emit NuSMV translations.
+
+   Subcommands:
+     shelley check  FILE...            run the full verification pipeline
+     shelley model  FILE [-c CLASS]    print extracted model(s)
+     shelley viz    FILE [-c CLASS]    DOT diagram (--deps for the §3.1 graph)
+     shelley nusmv  FILE -c CLASS      NuSMV translation
+     shelley trace  FILE -c CLASS TR   check an operation trace against a model
+     shelley infer  EXPR               behavior inference of an IR program *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load ?extra_env path =
+  match Pipeline.verify_source ?extra_env (read_file path) with
+  | Ok result -> Ok result
+  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+
+let select_models result = function
+  | None -> Ok result.Pipeline.models
+  | Some name -> (
+    match Pipeline.find_model result name with
+    | Some model -> Ok [ model ]
+    | None ->
+      Error
+        (Printf.sprintf "class %s not found (classes: %s)" name
+           (String.concat ", "
+              (List.map (fun (m : Model.t) -> m.Model.name) result.Pipeline.models))))
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+    prerr_endline msg;
+    exit 2
+
+(* --- check ----------------------------------------------------------------- *)
+
+let check_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  let warnings =
+    Arg.(value & flag & info [ "warnings"; "w" ] ~doc:"Also print warnings and infos.")
+  in
+  let explain =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Narrate usage counterexamples step by step.")
+  in
+  let using =
+    Arg.(
+      value
+      & opt_all file []
+      & info [ "using" ] ~docv:"MODEL.shelley"
+          ~doc:"Pre-verified .shelley model files resolving substrate classes \
+                not defined in the sources (separate verification). Repeatable.")
+  in
+  let run files warnings explain using =
+    let extra_env =
+      match Model_io.env_of_files using with
+      | Ok env -> env
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let failed = ref false in
+    List.iter
+      (fun path ->
+        let result = or_die (load ~extra_env path) in
+        let reports =
+          if warnings then result.Pipeline.reports
+          else Report.errors result.Pipeline.reports
+        in
+        if reports <> [] then begin
+          Format.printf "== %s ==@." path;
+          List.iter
+            (fun r ->
+              Format.printf "%a@.@." Report.pp r;
+              if explain then
+                List.iter
+                  (fun model ->
+                    match Explain.of_report ~model r with
+                    | Some explanation -> Format.printf "%a@.@." Explain.pp explanation
+                    | None -> ())
+                  result.Pipeline.models)
+            reports
+        end;
+        if not (Pipeline.verified result) then failed := true)
+      files;
+    if !failed then exit 1 else print_endline "OK: specification verified"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Verify annotated MicroPython sources.")
+    Term.(const run $ files $ warnings $ explain $ using)
+
+(* --- model ----------------------------------------------------------------- *)
+
+let class_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"Restrict to one class.")
+
+let model_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print model metrics instead of the model.")
+  in
+  let run file cls stats =
+    let result = or_die (load file) in
+    let models = or_die (select_models result cls) in
+    if stats then begin
+      print_endline Stats.header;
+      List.iter (fun m -> Format.printf "%a@." Stats.pp_row (Stats.of_model m)) models
+    end
+    else List.iter (fun m -> Format.printf "%a@." Model.pp m) models
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Print the extracted Shelley model(s).")
+    Term.(const run $ file $ class_arg $ stats)
+
+(* --- viz ------------------------------------------------------------------- *)
+
+let viz_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let deps =
+    Arg.(
+      value & flag
+      & info [ "deps" ] ~doc:"Render the §3.1 dependency graph instead of the usage automaton.")
+  in
+  let expanded =
+    Arg.(
+      value & flag
+      & info [ "expanded" ]
+          ~doc:"Render the expanded composite automaton (operation entries + subsystem calls).")
+  in
+  let behavior =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "behavior" ] ~docv:"OP"
+          ~doc:"Render the control-flow behavior of one operation instead.")
+  in
+  let run file cls deps expanded behavior =
+    let result = or_die (load file) in
+    let models = or_die (select_models result cls) in
+    List.iter
+      (fun (m : Model.t) ->
+        let dot =
+          match behavior with
+          | Some op_name -> (
+            match Model.find_op m op_name with
+            | Some op -> Dot.of_operation op
+            | None ->
+              prerr_endline
+                (Printf.sprintf "class %s has no operation %s" m.Model.name op_name);
+              exit 2)
+          | None ->
+            if deps then Dot.of_depgraph m
+            else if expanded then
+              Dot.of_nfa ~name:m.Model.name (Nfa.trim (Usage.expanded_nfa m))
+            else Dot.of_model m
+        in
+        print_string dot)
+      models
+  in
+  Cmd.v
+    (Cmd.info "viz" ~doc:"Emit Graphviz (DOT) diagrams of models.")
+    Term.(const run $ file $ class_arg $ deps $ expanded $ behavior)
+
+(* --- nusmv ----------------------------------------------------------------- *)
+
+let nusmv_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file cls =
+    let result = or_die (load file) in
+    let models = or_die (select_models result cls) in
+    List.iter (fun m -> print_string (Nusmv.model_of_class m)) models
+  in
+  Cmd.v
+    (Cmd.info "nusmv" ~doc:"Translate models to NuSMV (the paper's §5 back end).")
+    Term.(const run $ file $ class_arg)
+
+(* --- trace ----------------------------------------------------------------- *)
+
+let trace_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let cls =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"Class whose usage language to check.")
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Comma-separated operation names, e.g. 'test,open,close'.")
+  in
+  let run file cls trace_text =
+    let result = or_die (load file) in
+    let models = or_die (select_models result (Some cls)) in
+    let model = List.hd models in
+    let ops =
+      String.split_on_char ',' trace_text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let nfa = Depgraph.usage_nfa model in
+    let trace = Trace.of_names ops in
+    if Nfa.accepts nfa trace then
+      Format.printf "VALID: %a is a complete usage of %s@." Trace.pp trace model.Model.name
+    else begin
+      Format.printf "INVALID: %a is not a complete usage of %s@." Trace.pp trace
+        model.Model.name;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Check an operation trace against a class usage language.")
+    Term.(const run $ file $ cls $ trace_arg)
+
+(* --- infer ----------------------------------------------------------------- *)
+
+let infer_cmd =
+  let doc = "Run the paper's behavior inference on the bundled example programs." in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Corpus program name (omit to list them).")
+  in
+  let run name =
+    match name with
+    | None ->
+      List.iter
+        (fun (name, p) -> Format.printf "%-28s %a@." name Prog.pp p)
+        Ir_examples.corpus
+    | Some name -> (
+      match Ir_examples.find name with
+      | p ->
+        let d = Infer.denote p in
+        Format.printf "program:   %a@." Prog.pp p;
+        Format.printf "denote:    %a@." Infer.pp_denotation d;
+        Format.printf "infer:     %a@." Regex.pp (Infer.infer p)
+      | exception Not_found ->
+        prerr_endline ("unknown program " ^ name);
+        exit 2)
+  in
+  Cmd.v (Cmd.info "infer" ~doc) Term.(const run $ name_arg)
+
+(* --- sample ---------------------------------------------------------------- *)
+
+let sample_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let cls =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"Class to sample usages of.")
+  in
+  let count =
+    Arg.(value & opt int 5 & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of samples.")
+  in
+  let length =
+    Arg.(value & opt int 8 & info [ "l"; "length" ] ~docv:"LEN" ~doc:"Target trace length.")
+  in
+  let seed =
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+  in
+  let run file cls count length seed =
+    let result = or_die (load file) in
+    let models = or_die (select_models result (Some cls)) in
+    let model = List.hd models in
+    let state =
+      match seed with
+      | Some s -> Random.State.make [| s |]
+      | None -> Random.State.make_self_init ()
+    in
+    let samples =
+      Sample.many ~state ~target_len:length ~count (Depgraph.usage_nfa model)
+    in
+    if samples = [] then begin
+      prerr_endline "the class has no valid usage at all";
+      exit 1
+    end;
+    List.iter
+      (fun trace ->
+        if trace = [] then print_endline "(empty usage)"
+        else Format.printf "%a@." Trace.pp trace)
+      samples
+  in
+  Cmd.v
+    (Cmd.info "sample" ~doc:"Generate random valid usage traces of a class.")
+    Term.(const run $ file $ cls $ count $ length $ seed)
+
+(* --- monitor --------------------------------------------------------------- *)
+
+let monitor_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let cls =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "c"; "class" ] ~docv:"CLASS" ~doc:"Class whose protocol to monitor.")
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Comma-separated operations to feed the monitor.")
+  in
+  let run file cls trace_text =
+    let result = or_die (load file) in
+    let models = or_die (select_models result (Some cls)) in
+    let model = List.hd models in
+    let ops =
+      String.split_on_char ',' trace_text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    let rec feed monitor = function
+      | [] ->
+        Format.printf "%a@." Monitor.pp monitor;
+        if Monitor.may_stop monitor then print_endline "OK: legal stopping point"
+        else begin
+          print_endline "INCOMPLETE: stopping here violates the protocol";
+          exit 1
+        end
+      | op :: rest -> (
+        match Monitor.step monitor op with
+        | Monitor.Continue monitor' ->
+          Format.printf "%a@." Monitor.pp monitor';
+          feed monitor' rest
+        | Monitor.Reject { op; allowed } ->
+          Format.printf "REJECTED '%s' (allowed: %s)@." op (String.concat ", " allowed);
+          exit 1)
+    in
+    feed (Monitor.start model) ops
+  in
+  Cmd.v
+    (Cmd.info "monitor" ~doc:"Replay a trace through the runtime monitor, step by step.")
+    Term.(const run $ file $ cls $ trace_arg)
+
+(* --- watch ----------------------------------------------------------------- *)
+
+let watch_cmd =
+  let doc =
+    "Monitor an LTLf claim along an event trace (four-valued RV verdicts after \
+     every event)."
+  in
+  let claim =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "claim" ] ~docv:"FORMULA" ~doc:"The LTLf claim, e.g. '(!a.open) W b.open'.")
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Comma-separated events, e.g. 'a.test,a.open'.")
+  in
+  let run claim trace_text =
+    let formula =
+      match Ltl_parser.parse_result claim with
+      | Ok f -> f
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let events =
+      String.split_on_char ',' trace_text
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map Symbol.intern
+    in
+    let alphabet =
+      Symbol.Set.elements
+        (Symbol.Set.union (Ltlf.atoms formula) (Symbol.Set.of_list events))
+    in
+    let trajectory = Ltl_monitor.verdict_trajectory ~alphabet formula events in
+    List.iteri
+      (fun i v ->
+        let prefix = if i = 0 then "(start)" else Symbol.name (List.nth events (i - 1)) in
+        Format.printf "%-16s %a@." prefix Ltl_monitor.pp_verdict v)
+      trajectory;
+    match List.rev trajectory with
+    | Ltl_monitor.Definitely_false :: _ -> exit 1
+    | _ -> ()
+  in
+  Cmd.v (Cmd.info "watch" ~doc) Term.(const run $ claim $ trace_arg)
+
+(* --- lang ------------------------------------------------------------------ *)
+
+let lang_cmd =
+  let doc =
+    "Compare two regular expressions (paper notation): equivalence, inclusion, \
+     and a distinguishing trace if any."
+  in
+  let left = Arg.(required & pos 0 (some string) None & info [] ~docv:"REGEX1") in
+  let right = Arg.(required & pos 1 (some string) None & info [] ~docv:"REGEX2") in
+  let run left right =
+    match Regex_parser.parse_result left, Regex_parser.parse_result right with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      exit 2
+    | Ok r1, Ok r2 ->
+      Format.printf "r1 = %a@.r2 = %a@." Regex.pp r1 Regex.pp r2;
+      Format.printf "r1 ⊆ r2: %b@." (Equiv.included r1 r2);
+      Format.printf "r2 ⊆ r1: %b@." (Equiv.included r2 r1);
+      (match Equiv.counterexample r1 r2 with
+      | None -> Format.printf "equivalent@."
+      | Some w ->
+        Format.printf "distinguished by: %s@."
+          (if w = [] then "(the empty trace)" else Trace.to_string w);
+        exit 1)
+  in
+  Cmd.v (Cmd.info "lang" ~doc) Term.(const run $ left $ right)
+
+(* --- export ---------------------------------------------------------------- *)
+
+let export_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out_dir =
+    Arg.(
+      value & opt string "."
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Directory for the .shelley model files.")
+  in
+  let run file cls out_dir =
+    let result = or_die (load file) in
+    let models = or_die (select_models result cls) in
+    List.iter
+      (fun (m : Model.t) ->
+        let path = Filename.concat out_dir (m.Model.name ^ ".shelley") in
+        Model_io.save ~path m;
+        Printf.printf "wrote %s\n" path)
+      models
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Extract models and write them as .shelley files (for separate \
+          verification with 'check --using').")
+    Term.(const run $ file $ class_arg $ out_dir)
+
+let main_cmd =
+  let doc = "Shelley-style model inference and checking for MicroPython (DSN-W 2023)." in
+  Cmd.group
+    (Cmd.info "shelley" ~version:"1.0.0" ~doc)
+    [
+      export_cmd;
+      check_cmd;
+      model_cmd;
+      viz_cmd;
+      nusmv_cmd;
+      trace_cmd;
+      infer_cmd;
+      sample_cmd;
+      monitor_cmd;
+      watch_cmd;
+      lang_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

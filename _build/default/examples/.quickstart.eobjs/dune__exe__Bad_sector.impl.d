@@ -1,0 +1,1 @@
+examples/bad_sector.ml: Depgraph Dot Format List Ltl_parser Ltlf Nfa Nusmv Option Pipeline Printf Report Sources String Trace Usage

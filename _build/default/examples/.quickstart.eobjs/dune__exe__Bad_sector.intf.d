@@ -1,0 +1,1 @@
+examples/bad_sector.mli:

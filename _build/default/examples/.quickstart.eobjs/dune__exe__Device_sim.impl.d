@@ -1,0 +1,1 @@
+examples/device_sim.ml: Depgraph Filename Format Fun List Ltl_monitor Ltl_parser Model Model_io Monitor Option Pipeline Printf Random Refine Sample Sources String Symbol Sys Trace

@@ -1,0 +1,1 @@
+examples/good_sector.ml: Claims Depgraph Dot Format List Ltl_check Ltl_parser Nfa Option Pipeline Report Sources Trace Usage

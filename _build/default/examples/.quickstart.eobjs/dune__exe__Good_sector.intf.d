@@ -1,0 +1,1 @@
+examples/good_sector.mli:

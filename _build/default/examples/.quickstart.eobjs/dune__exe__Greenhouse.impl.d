@@ -1,0 +1,1 @@
+examples/greenhouse.ml: Array Filename Format Fun List Ltl_monitor Ltlf Model Model_io Option Patterns Pipeline Printf Report Sources Stats Symbol Sys Trace Usage

@@ -1,0 +1,1 @@
+examples/irrigation.ml: Depgraph Format List Model Nfa Option Pipeline Report Sources Trace Usage

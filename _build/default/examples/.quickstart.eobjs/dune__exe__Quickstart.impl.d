@@ -1,0 +1,1 @@
+examples/quickstart.ml: Depgraph Dot Format List Model Nfa Option Pipeline Regex Sources Trace

@@ -1,0 +1,1 @@
+lib/automata/determinize.ml: Array Dfa Fun Hashtbl List Map Nfa Queue States Symbol

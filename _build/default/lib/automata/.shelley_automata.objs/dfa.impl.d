@@ -1,0 +1,1 @@
+lib/automata/dfa.ml: Array Format Fun List Nfa Option Queue States Symbol Trace

@@ -1,0 +1,1 @@
+lib/automata/glushkov.ml: Array List Nfa Regex States Symbol

@@ -1,0 +1,1 @@
+lib/automata/language.ml: Array Fun Hashtbl List Nfa Option Queue Set States Symbol

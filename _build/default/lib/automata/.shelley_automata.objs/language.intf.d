@@ -1,0 +1,1 @@
+lib/automata/language.mli: Nfa Symbol Trace

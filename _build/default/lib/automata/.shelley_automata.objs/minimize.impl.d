@@ -1,0 +1,1 @@
+lib/automata/minimize.ml: Array Dfa Fun Hashtbl List Queue States Symbol

@@ -1,0 +1,1 @@
+lib/automata/nfa.ml: Array Format Fun Hashtbl List Option Queue Set States Symbol Trace

@@ -1,0 +1,1 @@
+lib/automata/sample.ml: Array Determinize Dfa Fun Hashtbl List Option Queue Random States

@@ -1,0 +1,1 @@
+lib/automata/sample.mli: Dfa Nfa Random Trace

@@ -1,0 +1,1 @@
+lib/automata/state_elim.ml: Fun Hashtbl List Nfa Regex States

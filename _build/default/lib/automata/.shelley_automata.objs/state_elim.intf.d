@@ -1,0 +1,1 @@
+lib/automata/state_elim.mli: Nfa Regex

@@ -1,0 +1,1 @@
+lib/automata/states.ml: Format Int List Map Set String

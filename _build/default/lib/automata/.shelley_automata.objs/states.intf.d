@@ -1,0 +1,1 @@
+lib/automata/states.mli: Format Map Set

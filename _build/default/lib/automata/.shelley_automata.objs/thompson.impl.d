@@ -1,0 +1,1 @@
+lib/automata/thompson.ml: Nfa Regex

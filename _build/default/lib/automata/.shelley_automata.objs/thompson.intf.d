@@ -1,0 +1,1 @@
+lib/automata/thompson.mli: Nfa Regex

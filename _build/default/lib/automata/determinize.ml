@@ -1,0 +1,49 @@
+module Config_map = Map.Make (States.Set)
+
+let determinize ?alphabet nfa =
+  let alphabet =
+    match alphabet with
+    | Some syms -> List.sort_uniq Symbol.compare syms
+    | None -> Symbol.Set.elements (Nfa.alphabet nfa)
+  in
+  (* Discover all reachable ε-closed configurations, numbering them densely. *)
+  let index = ref Config_map.empty in
+  let configs = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern config =
+    match Config_map.find_opt config !index with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      index := Config_map.add config i !index;
+      configs := config :: !configs;
+      Queue.add config queue;
+      i
+  in
+  let start_id = intern (Nfa.initial_config nfa) in
+  let edges = Hashtbl.create 64 in
+  let rec explore () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some config ->
+      let src = Config_map.find config !index in
+      List.iter
+        (fun sym ->
+          let dst = intern (Nfa.step nfa config sym) in
+          Hashtbl.replace edges (src, sym) dst)
+        alphabet;
+      explore ()
+  in
+  explore ();
+  let configs = Array.of_list (List.rev !configs) in
+  let accept =
+    Array.to_list configs
+    |> List.mapi (fun i config -> if Nfa.accepting_config nfa config then Some i else None)
+    |> List.filter_map Fun.id
+  in
+  Dfa.create ~alphabet ~num_states:!count ~start:start_id ~accept ~next:(fun q sym ->
+      match Hashtbl.find_opt edges (q, sym) with
+      | Some q' -> q'
+      | None -> assert false)

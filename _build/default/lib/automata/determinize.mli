@@ -1,0 +1,9 @@
+(** Subset construction: NFA → complete DFA.
+
+    The resulting DFA's alphabet is the NFA's transition alphabet unless a
+    larger one is supplied (Shelley lifts specification automata to the
+    alphabet of the implementation before comparing languages). *)
+
+val determinize : ?alphabet:Symbol.t list -> Nfa.t -> Dfa.t
+(** Classic ε-closed subset construction. The empty configuration becomes the
+    (rejecting, absorbing) sink, so the result is complete. *)

@@ -1,0 +1,73 @@
+module ISet = States.Set
+
+type info = {
+  nullable : bool;
+  first : ISet.t;
+  last : ISet.t;
+  follow : (int * int) list; (* accumulated follow pairs *)
+}
+
+let of_regex r =
+  (* Number the symbol positions 1..n in left-to-right order. *)
+  let positions = ref [] in
+  let counter = ref 0 in
+  let fresh sym =
+    incr counter;
+    positions := (!counter, sym) :: !positions;
+    !counter
+  in
+  let cross a b =
+    ISet.fold (fun x acc -> ISet.fold (fun y acc -> (x, y) :: acc) b acc) a []
+  in
+  let rec analyze (r : Regex.t) : info =
+    match r with
+    | Empty -> { nullable = false; first = ISet.empty; last = ISet.empty; follow = [] }
+    | Eps -> { nullable = true; first = ISet.empty; last = ISet.empty; follow = [] }
+    | Sym s ->
+      let p = fresh s in
+      { nullable = false; first = ISet.singleton p; last = ISet.singleton p; follow = [] }
+    | Seq (a, b) ->
+      let ia = analyze a in
+      let ib = analyze b in
+      {
+        nullable = ia.nullable && ib.nullable;
+        first = (if ia.nullable then ISet.union ia.first ib.first else ia.first);
+        last = (if ib.nullable then ISet.union ia.last ib.last else ib.last);
+        follow = cross ia.last ib.first @ ia.follow @ ib.follow;
+      }
+    | Alt (a, b) ->
+      let ia = analyze a in
+      let ib = analyze b in
+      {
+        nullable = ia.nullable || ib.nullable;
+        first = ISet.union ia.first ib.first;
+        last = ISet.union ia.last ib.last;
+        follow = ia.follow @ ib.follow;
+      }
+    | Star a ->
+      let ia = analyze a in
+      {
+        nullable = true;
+        first = ia.first;
+        last = ia.last;
+        follow = cross ia.last ia.first @ ia.follow;
+      }
+  in
+  let info = analyze r in
+  let n = !counter in
+  let sym_of = Array.make (n + 1) None in
+  List.iter (fun (p, sym) -> sym_of.(p) <- Some sym) !positions;
+  let sym_at p =
+    match sym_of.(p) with
+    | Some sym -> sym
+    | None -> assert false
+  in
+  let transitions =
+    List.map (fun p -> (0, sym_at p, p)) (ISet.elements info.first)
+    @ List.map (fun (p, q) -> (p, sym_at q, q)) info.follow
+  in
+  let accept =
+    (if info.nullable then [ 0 ] else []) @ ISet.elements info.last
+  in
+  let labels = List.map (fun (p, sym) -> (p, Symbol.name sym)) !positions in
+  Nfa.create ~labels ~num_states:(n + 1) ~start:[ 0 ] ~accept ~transitions ()

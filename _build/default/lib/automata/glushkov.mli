@@ -1,0 +1,10 @@
+(** Glushkov's (position automaton) construction: regex → ε-free NFA.
+
+    Each occurrence of a symbol in the expression becomes one state, plus a
+    single initial state; there are no ε-transitions, so the automaton is
+    ready for simulation or subset construction without closure computation.
+    Computed from the classic [first]/[last]/[follow] position sets. *)
+
+val of_regex : Regex.t -> Nfa.t
+(** States: [0] is initial; state [i ≥ 1] is the i-th symbol position in
+    left-to-right order, labeled with that symbol's name. *)

@@ -1,0 +1,103 @@
+module Pair = struct
+  type t = States.Set.t * States.Set.t
+
+  let compare (a1, a2) (b1, b2) =
+    let c = States.Set.compare a1 b1 in
+    if c <> 0 then c else States.Set.compare a2 b2
+end
+
+module Pair_set = Set.Make (Pair)
+
+(* BFS over pairs of ε-closed configurations of two NFAs run in lockstep;
+   [bad] spots a distinguishing pair, and breadth-first order makes the
+   witness shortest. *)
+let find_witness ?alphabet ~bad n1 n2 =
+  let alphabet =
+    match alphabet with
+    | Some set -> set
+    | None -> Symbol.Set.union (Nfa.alphabet n1) (Nfa.alphabet n2)
+  in
+  let syms = Symbol.Set.elements alphabet in
+  let seen = ref Pair_set.empty in
+  let queue = Queue.create () in
+  let push pair rev_path =
+    if not (Pair_set.mem pair !seen) then begin
+      seen := Pair_set.add pair !seen;
+      Queue.add (pair, rev_path) queue
+    end
+  in
+  push (Nfa.initial_config n1, Nfa.initial_config n2) [];
+  let rec loop () =
+    match Queue.take_opt queue with
+    | None -> None
+    | Some ((c1, c2), rev_path) ->
+      if bad (Nfa.accepting_config n1 c1) (Nfa.accepting_config n2 c2) then
+        Some (List.rev rev_path)
+      else begin
+        List.iter
+          (fun sym -> push (Nfa.step n1 c1 sym, Nfa.step n2 c2 sym) (sym :: rev_path))
+          syms;
+        loop ()
+      end
+  in
+  loop ()
+
+let inclusion_counterexample ?alphabet ~impl ~spec () =
+  find_witness ?alphabet ~bad:(fun a b -> a && not b) impl spec
+
+let included ?alphabet ~impl ~spec () =
+  Option.is_none (inclusion_counterexample ?alphabet ~impl ~spec ())
+
+let equivalence_counterexample n1 n2 =
+  find_witness ~bad:(fun a b -> a <> b) n1 n2
+
+let equivalent n1 n2 = Option.is_none (equivalence_counterexample n1 n2)
+
+let intersect n1 n2 =
+  (* Explore reachable configuration pairs, interning each as a product
+     state; the result is ε-free by construction. *)
+  let alphabet = Symbol.Set.inter (Nfa.alphabet n1) (Nfa.alphabet n2) in
+  let syms = Symbol.Set.elements alphabet in
+  let index = Hashtbl.create 64 in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern pair =
+    match Hashtbl.find_opt index pair with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      incr count;
+      Hashtbl.add index pair i;
+      order := pair :: !order;
+      Queue.add pair queue;
+      i
+  in
+  let start = intern (Nfa.initial_config n1, Nfa.initial_config n2) in
+  let transitions = ref [] in
+  let rec explore () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some ((c1, c2) as pair) ->
+      let src = Hashtbl.find index pair in
+      List.iter
+        (fun sym ->
+          let d1 = Nfa.step n1 c1 sym in
+          let d2 = Nfa.step n2 c2 sym in
+          if not (States.Set.is_empty d1 || States.Set.is_empty d2) then begin
+            let dst = intern (d1, d2) in
+            transitions := (src, sym, dst) :: !transitions
+          end)
+        syms;
+      explore ()
+  in
+  explore ();
+  let pairs = Array.of_list (List.rev !order) in
+  let accept =
+    List.filter
+      (fun i ->
+        let c1, c2 = pairs.(i) in
+        Nfa.accepting_config n1 c1 && Nfa.accepting_config n2 c2)
+      (List.init !count Fun.id)
+  in
+  Nfa.create ~num_states:!count ~start:[ start ] ~accept ~transitions:!transitions ()

@@ -1,0 +1,24 @@
+(** Language-level comparisons between NFAs.
+
+    These are the checks the Shelley verifier actually issues: is every trace
+    an implementation can produce allowed by a specification, and if not,
+    what is the shortest offending trace. Implemented by an on-the-fly
+    product of subset constructions — no full determinization when a
+    counterexample is close to the start state. *)
+
+val inclusion_counterexample :
+  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> spec:Nfa.t -> unit -> Trace.t option
+(** Shortest trace accepted by [impl] but not by [spec]. The alphabet
+    defaults to the union of both automata's alphabets; pass a larger one if
+    the implementation may emit symbols neither mentions. *)
+
+val included : ?alphabet:Symbol.Set.t -> impl:Nfa.t -> spec:Nfa.t -> unit -> bool
+
+val equivalence_counterexample : Nfa.t -> Nfa.t -> Trace.t option
+(** Shortest trace in exactly one of the two languages. *)
+
+val equivalent : Nfa.t -> Nfa.t -> bool
+
+val intersect : Nfa.t -> Nfa.t -> Nfa.t
+(** Product NFA accepting the intersection (ε-transitions are handled by
+    closing configurations on the fly; the result is ε-free). *)

@@ -1,0 +1,20 @@
+(** DFA minimization.
+
+    Two implementations are provided: Moore's O(n²·|Σ|) partition refinement
+    (simple, the correctness reference) and Hopcroft's O(n·log n·|Σ|)
+    worklist algorithm (the default). The test-suite cross-checks them; the
+    benchmark suite races them (DESIGN.md decision 4). Both first restrict to
+    reachable states, so the result is the canonical minimal complete DFA of
+    the language. *)
+
+val minimize : Dfa.t -> Dfa.t
+(** Hopcroft. *)
+
+val minimize_moore : Dfa.t -> Dfa.t
+
+val minimize_hopcroft : Dfa.t -> Dfa.t
+
+val isomorphic : Dfa.t -> Dfa.t -> bool
+(** Structural isomorphism of two DFAs (same alphabet), checked by parallel
+    walk from the start states. Minimal DFAs of equal languages are
+    isomorphic — used to validate the two minimizers against each other. *)

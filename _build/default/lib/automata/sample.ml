@@ -1,0 +1,79 @@
+(* Distance from every state to the nearest accepting state (reverse BFS);
+   max_int means acceptance is unreachable. *)
+let distances_to_accept dfa =
+  let n = Dfa.num_states dfa in
+  let dist = Array.make n max_int in
+  let preds = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun sym ->
+          let q' = Dfa.next dfa q sym in
+          Hashtbl.replace preds q'
+            (q :: (Option.value ~default:[] (Hashtbl.find_opt preds q'))))
+        (Dfa.alphabet dfa))
+    (List.init n Fun.id);
+  let queue = Queue.create () in
+  States.Set.iter
+    (fun q ->
+      dist.(q) <- 0;
+      Queue.add q queue)
+    (Dfa.accept_states dfa);
+  let rec bfs () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some q ->
+      List.iter
+        (fun p ->
+          if dist.(p) = max_int then begin
+            dist.(p) <- dist.(q) + 1;
+            Queue.add p queue
+          end)
+        (Option.value ~default:[] (Hashtbl.find_opt preds q));
+      bfs ()
+  in
+  bfs ();
+  dist
+
+let from_dfa ?state ?(target_len = 12) dfa =
+  let rng =
+    match state with
+    | Some s -> s
+    | None -> Random.State.make_self_init ()
+  in
+  let dist = distances_to_accept dfa in
+  if dist.(Dfa.start dfa) = max_int then None
+  else begin
+    let rec walk q acc len =
+      let may_stop = Dfa.is_accept dfa q in
+      if may_stop && (len >= target_len || Random.State.int rng 3 = 0) then List.rev acc
+      else if len >= target_len + 8 then
+        (* Hard cap: march straight to the nearest accepting state. *)
+        finish q acc
+      else begin
+        let viable =
+          List.filter (fun sym -> dist.(Dfa.next dfa q sym) < max_int) (Dfa.alphabet dfa)
+        in
+        match viable with
+        | [] -> List.rev acc (* q must be accepting: dist q < max_int and no move *)
+        | _ ->
+          let sym = List.nth viable (Random.State.int rng (List.length viable)) in
+          walk (Dfa.next dfa q sym) (sym :: acc) (len + 1)
+      end
+    and finish q acc =
+      if Dfa.is_accept dfa q then List.rev acc
+      else
+        let sym =
+          List.find (fun sym -> dist.(Dfa.next dfa q sym) < dist.(q)) (Dfa.alphabet dfa)
+        in
+        finish (Dfa.next dfa q sym) (sym :: acc)
+    in
+    Some (walk (Dfa.start dfa) [] 0)
+  end
+
+let from_nfa ?state ?target_len nfa =
+  from_dfa ?state ?target_len (Determinize.determinize nfa)
+
+let many ?state ?target_len ~count nfa =
+  let dfa = Determinize.determinize nfa in
+  List.init count (fun _ -> from_dfa ?state ?target_len dfa) |> List.filter_map Fun.id

@@ -1,0 +1,23 @@
+(** Random sampling of accepted traces.
+
+    Given a model automaton, produce random members of its language — useful
+    to exercise a physical device with valid usage scenarios (the dual of
+    verification: the model as a test generator). Sampling is uniform over
+    allowed next-symbols at each step, biased to terminate around a target
+    length; it never returns a rejected trace. *)
+
+val from_dfa :
+  ?state:Random.State.t -> ?target_len:int -> Dfa.t -> Trace.t option
+(** [None] iff the language is empty. The walk only takes steps from which
+    an accepting state stays reachable, stops with probability 1/3 whenever
+    it may, and past [target_len] (default 12) follows a shortest path to
+    acceptance. *)
+
+val from_nfa :
+  ?state:Random.State.t -> ?target_len:int -> Nfa.t -> Trace.t option
+(** Determinizes, then {!from_dfa}. *)
+
+val many :
+  ?state:Random.State.t -> ?target_len:int -> count:int -> Nfa.t -> Trace.t list
+(** [count] samples (possibly with repetitions; empty list iff the language
+    is empty). *)

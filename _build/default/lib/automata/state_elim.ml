@@ -1,0 +1,58 @@
+(* Generalized NFA over regex-labeled edges, with fresh initial state [src]
+   and final state [dst] beyond the NFA's own states. *)
+let to_regex nfa =
+  let n = Nfa.num_states nfa in
+  let src = n and dst = n + 1 in
+  let edges = Hashtbl.create 64 in
+  let get p q =
+    match Hashtbl.find_opt edges (p, q) with
+    | Some r -> r
+    | None -> Regex.empty
+  in
+  let add p q r = Hashtbl.replace edges (p, q) (Regex.alt (get p q) r) in
+  States.Set.iter (fun q -> add src q Regex.eps) (Nfa.start nfa);
+  States.Set.iter (fun q -> add q dst Regex.eps) (Nfa.accept nfa);
+  List.iter (fun (a, sym, b) -> add a b (Regex.sym sym)) (Nfa.transitions nfa);
+  List.iter (fun (a, b) -> add a b Regex.eps) (Nfa.epsilons nfa);
+  (* Degree of a state = number of non-∅ incident edges; eliminating
+     low-degree states first keeps intermediate expressions small. *)
+  let degree s =
+    let count = ref 0 in
+    for q = 0 to n + 1 do
+      if not (Regex.is_empty_syntactic (get s q)) then incr count;
+      if not (Regex.is_empty_syntactic (get q s)) then incr count
+    done;
+    !count
+  in
+  let remaining = ref (List.init n Fun.id) in
+  let eliminate s =
+    let self = Regex.star (get s s) in
+    let preds =
+      List.filter (fun p -> p <> s && not (Regex.is_empty_syntactic (get p s)))
+        (src :: !remaining)
+    in
+    let succs =
+      List.filter (fun q -> q <> s && not (Regex.is_empty_syntactic (get s q)))
+        (dst :: !remaining)
+    in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun q -> add p q (Regex.seq_list [ get p s; self; get s q ]))
+          succs)
+      preds;
+    for q = 0 to n + 1 do
+      Hashtbl.remove edges (s, q);
+      Hashtbl.remove edges (q, s)
+    done
+  in
+  while !remaining <> [] do
+    let s =
+      List.fold_left
+        (fun best q -> if degree q < degree best then q else best)
+        (List.hd !remaining) (List.tl !remaining)
+    in
+    remaining := List.filter (fun q -> q <> s) !remaining;
+    eliminate s
+  done;
+  get src dst

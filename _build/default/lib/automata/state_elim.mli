@@ -1,0 +1,9 @@
+(** State elimination: NFA → regular expression.
+
+    Closes the loop regex → NFA → DFA → regex, which the test-suite uses to
+    exercise Corollary 1 (the behavior of a program is a regular language):
+    the language must survive every round-trip. Elimination order is lowest
+    degree first, a standard heuristic that keeps the output expression
+    small. *)
+
+val to_regex : Nfa.t -> Regex.t

@@ -1,0 +1,10 @@
+type t = int
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let pp_set fmt set =
+  Format.fprintf fmt "{%s}"
+    (Set.elements set |> List.map string_of_int |> String.concat ", ")
+
+let of_list l = Set.of_list l

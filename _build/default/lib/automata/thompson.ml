@@ -1,0 +1,11 @@
+let of_regex r =
+  let rec build (r : Regex.t) =
+    match r with
+    | Empty -> Nfa.empty_language
+    | Eps -> Nfa.eps_language
+    | Sym s -> Nfa.symbol s
+    | Seq (a, b) -> Nfa.concat (build a) (build b)
+    | Alt (a, b) -> Nfa.union (build a) (build b)
+    | Star a -> Nfa.star (build a)
+  in
+  build r

@@ -1,0 +1,8 @@
+(** Thompson's construction: regex → NFA with ε-transitions.
+
+    Structural and allocation-light: one pass over the expression, a constant
+    number of states per node. Produces more states than {!Glushkov} but
+    builds faster; the benchmark suite compares the two (DESIGN.md
+    decision 2). *)
+
+val of_regex : Regex.t -> Nfa.t

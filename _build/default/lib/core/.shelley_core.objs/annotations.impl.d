@@ -1,0 +1,1 @@
+lib/core/annotations.ml: Format Fun List Mpy_ast Option Printf

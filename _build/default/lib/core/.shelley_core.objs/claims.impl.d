@@ -1,0 +1,1 @@
+lib/core/claims.ml: List Ltl_check Model Nfa Report Symbol Usage

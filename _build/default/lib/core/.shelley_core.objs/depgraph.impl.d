@@ -1,0 +1,1 @@
+lib/core/depgraph.ml: Annotations Format Hashtbl List Model Nfa Printf

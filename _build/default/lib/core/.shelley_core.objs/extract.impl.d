@@ -1,0 +1,1 @@
+lib/core/extract.ml: Annotations Deriv Hashtbl Infer Int List Ltl_parser Model Mpy_ast Mpy_lower Option Printf Regex Report String Symbol

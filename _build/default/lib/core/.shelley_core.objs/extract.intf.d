@@ -1,0 +1,1 @@
+lib/core/extract.mli: Model Mpy_ast Prog Regex Report

@@ -1,0 +1,1 @@
+lib/core/invocation.ml: List Model Mpy_ast Option Printf Report String

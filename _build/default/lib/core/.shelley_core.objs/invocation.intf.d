@@ -1,0 +1,1 @@
+lib/core/invocation.mli: Model Mpy_ast Report Usage

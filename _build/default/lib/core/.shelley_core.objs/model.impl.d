@@ -1,0 +1,1 @@
+lib/core/model.ml: Annotations Format Infer List Ltlf Printf Prog Regex String Symbol

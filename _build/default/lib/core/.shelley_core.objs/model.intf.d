@@ -1,0 +1,1 @@
+lib/core/model.mli: Annotations Format Ltlf Prog Regex Symbol

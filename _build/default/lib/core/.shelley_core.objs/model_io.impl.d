@@ -1,0 +1,1 @@
+lib/core/model_io.ml: Annotations Fun List Ltl_parser Model Mpy_lower Printf Prog Prog_parser Regex Regex_parser Result Sexp_lite String

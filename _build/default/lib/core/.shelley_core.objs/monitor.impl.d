@@ -1,0 +1,1 @@
+lib/core/monitor.ml: Depgraph Format List Model Nfa Printf States String Symbol

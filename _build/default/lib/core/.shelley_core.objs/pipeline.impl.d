@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Claims Extract Invocation List Model Mpy_ast Mpy_lexer Mpy_parser Printf Refine Report String Usage Validate

@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Model Mpy_ast Report Result Usage

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Depgraph Language List Model Mpy_ast Nfa Printf Report Result Symbol Trace

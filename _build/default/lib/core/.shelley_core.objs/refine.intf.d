@@ -1,0 +1,1 @@
+lib/core/refine.mli: Model Mpy_ast Report Trace Usage

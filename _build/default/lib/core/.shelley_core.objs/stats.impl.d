@@ -1,0 +1,1 @@
+lib/core/stats.ml: Depgraph Determinize Dfa Format List Minimize Model Nfa Printf Prog Trace Usage

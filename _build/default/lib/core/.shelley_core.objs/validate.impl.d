@@ -1,0 +1,1 @@
+lib/core/validate.ml: Annotations Depgraph Hashtbl List Model Printf Report String

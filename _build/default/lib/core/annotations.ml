@@ -1,0 +1,96 @@
+type op_kind =
+  | Initial
+  | Final
+  | Initial_final
+  | Middle
+
+let is_initial = function
+  | Initial | Initial_final -> true
+  | Final | Middle -> false
+
+let is_final = function
+  | Final | Initial_final -> true
+  | Initial | Middle -> false
+
+let pp_op_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with
+    | Initial -> "initial"
+    | Final -> "final"
+    | Initial_final -> "initial, final"
+    | Middle -> "op")
+
+type class_annotation =
+  | Sys of string list option
+  | Claim of string
+
+type classified = {
+  class_annotations : class_annotation list;
+  class_annotation_errors : (int * string) list;
+}
+
+let classify_class_decorators decorators =
+  let annotations = ref [] in
+  let errors = ref [] in
+  let error line msg = errors := (line, msg) :: !errors in
+  List.iter
+    (fun (d : Mpy_ast.decorator) ->
+      match d.dec_name, d.dec_args with
+      | "sys", [] -> annotations := Sys None :: !annotations
+      | "sys", [ Mpy_ast.List items ] ->
+        let names =
+          List.map
+            (function
+              | Mpy_ast.Str s -> Some s
+              | _ -> None)
+            items
+        in
+        if List.for_all Option.is_some names then
+          annotations := Sys (Some (List.filter_map Fun.id names)) :: !annotations
+        else error d.dec_line "@sys expects a list of subsystem field names (strings)"
+      | "sys", _ -> error d.dec_line "@sys expects no argument or a list of field names"
+      | "claim", [ Mpy_ast.Str text ] -> annotations := Claim text :: !annotations
+      | "claim", _ -> error d.dec_line "@claim expects a single string argument"
+      | ("op" | "op_initial" | "op_final" | "op_initial_final"), _ ->
+        error d.dec_line
+          (Printf.sprintf "@%s applies to methods, not classes" d.dec_name)
+      | name, _ -> error d.dec_line (Printf.sprintf "unknown class annotation @%s" name))
+    decorators;
+  { class_annotations = List.rev !annotations; class_annotation_errors = List.rev !errors }
+
+let classify_method_decorators decorators =
+  let kinds =
+    List.filter_map
+      (fun (d : Mpy_ast.decorator) ->
+        match d.dec_name with
+        | "op" -> Some Middle
+        | "op_initial" -> Some Initial
+        | "op_final" -> Some Final
+        | "op_initial_final" -> Some Initial_final
+        | _ -> None)
+      decorators
+  in
+  let unknown =
+    List.filter
+      (fun (d : Mpy_ast.decorator) ->
+        not
+          (List.mem d.dec_name
+             [ "op"; "op_initial"; "op_final"; "op_initial_final"; "property"; "staticmethod" ]))
+      decorators
+  in
+  match kinds, unknown with
+  | _, d :: _ -> Error (Printf.sprintf "unknown method annotation @%s" d.Mpy_ast.dec_name)
+  | [], [] -> Ok None
+  | [ kind ], [] -> Ok (Some kind)
+  | _ :: _ :: _, [] -> Error "conflicting operation annotations (use exactly one @op_* decorator)"
+
+let table =
+  [
+    ("@claim", "class", "temporal requirement");
+    ("@sys", "class", "base class");
+    ("@sys([\"s1\", ..., \"sn\"])", "class", "composite class");
+    ("@op_initial", "method", "invoke in first place");
+    ("@op_final", "method", "invoke in last place");
+    ("@op_initial_final", "method", "invoke in first and last places");
+    ("@op", "method", "invoke in between an initial and final methods");
+  ]

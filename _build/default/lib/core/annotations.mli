@@ -1,0 +1,34 @@
+(** Shelley's annotation vocabulary (the paper's Table 1) and its
+    interpretation on parsed decorators. *)
+
+type op_kind =
+  | Initial  (** [@op_initial] — may be invoked first *)
+  | Final  (** [@op_final] — may be invoked last *)
+  | Initial_final  (** [@op_initial_final] *)
+  | Middle  (** [@op] — in between initial and final methods *)
+
+val is_initial : op_kind -> bool
+val is_final : op_kind -> bool
+val pp_op_kind : Format.formatter -> op_kind -> unit
+
+type class_annotation =
+  | Sys of string list option
+      (** [@sys] (base class, [None]) or [@sys(["a", "b"])] (composite class
+          with declared subsystem fields) *)
+  | Claim of string  (** [@claim("…")] — raw formula text *)
+
+type classified = {
+  class_annotations : class_annotation list;
+  class_annotation_errors : (int * string) list;  (** (line, message) *)
+}
+
+val classify_class_decorators : Mpy_ast.decorator list -> classified
+
+val classify_method_decorators :
+  Mpy_ast.decorator list -> (op_kind option, string) result
+(** [Ok None] when the method carries no Shelley annotation (helper method or
+    [__init__]); [Error _] on conflicting or malformed annotations. *)
+
+val table : (string * string * string) list
+(** The rows of the paper's Table 1: (annotation, applies to, meaning).
+    Printed verbatim by the benchmark harness to regenerate the table. *)

@@ -1,0 +1,20 @@
+let subsystem_call_nfa (model : Model.t) =
+  let expanded = Usage.expanded_nfa model in
+  Nfa.map_symbols
+    (fun sym -> if Symbol.split_scope sym <> None then Some sym else None)
+    expanded
+
+let check_claim (model : Model.t) (text, formula) =
+  let impl = subsystem_call_nfa model in
+  match Ltl_check.check ~impl formula with
+  | Ok () -> None
+  | Error violation ->
+    Some
+      (Report.Requirement_failure
+         {
+           class_name = model.Model.name;
+           formula = text;
+           counterexample = violation.Ltl_check.counterexample;
+         })
+
+let check (model : Model.t) = List.filter_map (check_claim model) model.Model.claims

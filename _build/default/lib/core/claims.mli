@@ -1,0 +1,15 @@
+(** Temporal-claim checking (§2.2, "Checking temporal requirements").
+
+    A [@claim] formula speaks about subsystem-call events ([a.open],
+    [b.open]); it must hold on every trace of subsystem calls the composite
+    can produce — the expanded automaton's language with operation-entry
+    events erased. *)
+
+val subsystem_call_nfa : Model.t -> Nfa.t
+(** {!Usage.expanded_nfa} projected onto subsystem-call events. *)
+
+val check_claim : Model.t -> string * Ltlf.t -> Report.t option
+(** [None] when the claim holds on all traces. *)
+
+val check : Model.t -> Report.t list
+(** All claims of the class, in declaration order. *)

@@ -1,0 +1,38 @@
+(** Method dependency extraction (§3.1).
+
+    The dependency graph has one *entry* node per operation and one *exit*
+    node per return statement; arcs link each entry to its exits, and each
+    exit to the entries of the operations its return list names. The same
+    structure, read as an automaton over operation names, is the class usage
+    language: what Shelley checks callers of the class against. *)
+
+type node =
+  | Entry of string  (** operation name *)
+  | Exit of string * int  (** operation name, exit id *)
+
+val node_label : node -> string
+(** ["open_a"] / ["open_a/1"] — stable labels for diagrams. *)
+
+type t = {
+  nodes : node list;
+  arcs : (node * node) list;
+}
+
+val of_model : Model.t -> t
+
+val usage_nfa : Model.t -> Nfa.t
+(** The class usage automaton over operation-name symbols: from the start
+    state, each initial operation may be invoked; invoking an operation
+    nondeterministically selects one of its exits; from an exit, exactly the
+    operations in its [next_ops] may follow. Accepting states: the start
+    state (objects may be left unused) and every exit of a final
+    operation. States are labeled for diagrams. *)
+
+val reachable_ops : Model.t -> string list
+(** Operations reachable from some initial operation through the graph. *)
+
+val ops_reaching_final : Model.t -> string list
+(** Operations from which some final operation's exit is reachable
+    (final operations count as reaching themselves). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,77 @@
+type step = {
+  op : string;
+  op_line : int;
+  calls : Symbol.t list;
+}
+
+type t = {
+  steps : step list;
+  field : string;
+  subsystem_class : string;
+  observed : string list;
+  failure : Report.usage_failure;
+}
+
+let of_usage_error ~(model : Model.t) ~field ~subsystem_class ~counterexample ~failure =
+  let line_of op_name =
+    match Model.find_op model op_name with
+    | Some op -> op.Model.op_line
+    | None -> 0
+  in
+  let is_entry sym = Symbol.split_scope sym = None in
+  let rec segment current acc = function
+    | [] -> List.rev (close current acc)
+    | sym :: rest ->
+      if is_entry sym then
+        let name = Symbol.name sym in
+        segment (Some { op = name; op_line = line_of name; calls = [] }) (close current acc)
+          rest
+      else begin
+        match current with
+        | Some step -> segment (Some { step with calls = sym :: step.calls }) acc rest
+        | None -> segment None acc rest
+      end
+  and close current acc =
+    match current with
+    | Some step -> { step with calls = List.rev step.calls } :: acc
+    | None -> acc
+  in
+  {
+    steps = segment None [] counterexample;
+    field;
+    subsystem_class;
+    observed = Usage.project_subsystem ~field counterexample;
+    failure;
+  }
+
+let of_report ~model (report : Report.t) =
+  match report with
+  | Report.Invalid_subsystem_usage
+      { class_name; field; subsystem_class; counterexample; failure; _ }
+    when String.equal class_name model.Model.name ->
+    Some (of_usage_error ~model ~field ~subsystem_class ~counterexample ~failure)
+  | Report.Invalid_subsystem_usage _ | Report.Requirement_failure _ | Report.Structural _ ->
+    None
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i step ->
+      Format.fprintf fmt "%d. %s (line %d) — calls: %s@," (i + 1) step.op step.op_line
+        (match step.calls with
+        | [] -> "(none)"
+        | calls -> String.concat ", " (List.map Symbol.name calls)))
+    t.steps;
+  Format.fprintf fmt "%s '%s' observed: %s@," t.subsystem_class t.field
+    (match t.observed with
+    | [] -> "(nothing)"
+    | calls -> String.concat ", " calls);
+  (match t.failure with
+  | Report.Not_allowed op ->
+    Format.fprintf fmt "'%s' is not allowed at that point of %s's protocol" op
+      t.subsystem_class
+  | Report.Not_final op ->
+    Format.fprintf fmt
+      "the composite may stop here, but '%s' is not a final operation of %s" op
+      t.subsystem_class);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,43 @@
+(** Structured explanation of usage counterexamples.
+
+    A raw counterexample like [open_a, a.test, a.open] interleaves operation
+    entries with subsystem calls; this module segments it back into
+    operations — each with its source line and the calls its body performed —
+    and narrates what the offended subsystem observed. Drives the CLI's
+    [check --explain] output. *)
+
+type step = {
+  op : string;  (** operation of the composite *)
+  op_line : int;  (** its [def] line in the source *)
+  calls : Symbol.t list;  (** subsystem calls performed during this step *)
+}
+
+type t = {
+  steps : step list;
+  field : string;
+  subsystem_class : string;
+  observed : string list;  (** the offended subsystem's projected call sequence *)
+  failure : Report.usage_failure;
+}
+
+val of_usage_error :
+  model:Model.t ->
+  field:string ->
+  subsystem_class:string ->
+  counterexample:Trace.t ->
+  failure:Report.usage_failure ->
+  t
+(** Segment a counterexample against the composite's model. Events before
+    the first operation entry (there are none in well-formed traces) are
+    ignored. *)
+
+val of_report : model:Model.t -> Report.t -> t option
+(** [Some _] only for [Invalid_subsystem_usage] reports about [model]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line narration:
+    {v
+    1. open_a (line 9) — calls: a.test, a.open
+    Valve 'a' observed: test, open
+    after 'open' the valve may not stop (close expected)
+    v} *)

@@ -1,0 +1,137 @@
+(* A call self.f.m(...) on a declared subsystem field. *)
+let subsystem_call ~(model : Model.t) expr =
+  match expr with
+  | Mpy_ast.Call (Mpy_ast.Attr (Mpy_ast.Attr (Mpy_ast.Name "self", field), meth), _)
+    when List.mem field model.Model.declared_subsystems ->
+    Some (field, meth)
+  | _ -> None
+
+let rec subsystem_calls_in_expr ~model expr acc =
+  let acc =
+    match subsystem_call ~model expr with
+    | Some call -> call :: acc
+    | None -> acc
+  in
+  match expr with
+  | Mpy_ast.Name _ | Str _ | Int _ | Bool _ | None_lit -> acc
+  | Attr (base, _) -> subsystem_calls_in_expr ~model base acc
+  | Call (target, args) ->
+    let acc = subsystem_calls_in_expr ~model target acc in
+    List.fold_left (fun acc arg -> subsystem_calls_in_expr ~model arg acc) acc args
+  | List items | Tuple items ->
+    List.fold_left (fun acc item -> subsystem_calls_in_expr ~model item acc) acc items
+  | Binop (_, a, b) -> subsystem_calls_in_expr ~model b (subsystem_calls_in_expr ~model a acc)
+  | Unop (_, e) -> subsystem_calls_in_expr ~model e acc
+  | Subscript (e, i) -> subsystem_calls_in_expr ~model i (subsystem_calls_in_expr ~model e acc)
+
+let check ~env ~(model : Model.t) (cls : Mpy_ast.class_def) =
+  let class_name = cls.Mpy_ast.cls_name in
+  let reports = ref [] in
+  let add r = reports := r :: !reports in
+  let model_of_field field =
+    match Model.subsystem_class model field with
+    | None -> None
+    | Some cls_name -> env cls_name
+  in
+  let check_defined line (field, meth) =
+    match model_of_field field with
+    | None -> () (* unknown subsystem class: reported by Usage.check *)
+    | Some sub_model ->
+      if Model.find_op sub_model meth = None then
+        add
+          (Report.structural ~line Report.Error ~class_name
+             (Printf.sprintf
+                "call to undefined operation '%s.%s' (class %s declares: %s)" field meth
+                (Option.value ~default:"?" (Model.subsystem_class model field))
+                (String.concat ", " (Model.op_names sub_model))))
+  in
+  (* The possible next-op lists an operation can return, as a set of string
+     lists (source order preserved inside each list). *)
+  let possible_results (op : Model.operation) =
+    List.filter_map
+      (fun (e : Model.exit_point) -> if e.implicit then None else Some e.next_ops)
+      op.exits
+    |> List.sort_uniq compare
+  in
+  let check_match_exhaustive line scrutinee cases =
+    match subsystem_call ~model scrutinee with
+    | None -> ()
+    | Some (field, meth) -> (
+      match model_of_field field with
+      | None -> ()
+      | Some sub_model -> (
+        match Model.find_op sub_model meth with
+        | None -> () (* undefined op reported above *)
+        | Some op ->
+          let results = possible_results op in
+          let patterns =
+            List.filter_map
+              (fun (pat, _) ->
+                match pat with
+                | Mpy_ast.Pat_list names -> Some (`List names)
+                | Mpy_ast.Pat_wildcard | Mpy_ast.Pat_capture _ -> Some `Any
+                | Mpy_ast.Pat_literal _ -> None)
+              cases
+          in
+          let has_catch_all = List.mem `Any patterns in
+          let covered result =
+            has_catch_all || List.mem (`List result) patterns
+          in
+          List.iter
+            (fun result ->
+              if not (covered result) then
+                add
+                  (Report.structural ~line Report.Error ~class_name
+                     (Printf.sprintf
+                        "non-exhaustive match on result of '%s.%s': exit point returning \
+                         [%s] is not handled"
+                        field meth
+                        (String.concat ", " result))))
+            results;
+          List.iter
+            (function
+              | `List names when not (List.mem names results) ->
+                add
+                  (Report.structural ~line Report.Warning ~class_name
+                     (Printf.sprintf
+                        "match on result of '%s.%s' has a case [%s] that the operation \
+                         never returns"
+                        field meth (String.concat ", " names)))
+              | `List _ | `Any -> ())
+            patterns))
+  in
+  let rec walk_block block = List.iter walk_stmt block
+  and walk_expr line e =
+    List.iter (check_defined line) (List.rev (subsystem_calls_in_expr ~model e []))
+  and walk_stmt (s : Mpy_ast.stmt) =
+    let line = s.Mpy_ast.stmt_line in
+    match s.Mpy_ast.stmt with
+    | Expr_stmt e -> walk_expr line e
+    | Assign (t, v) ->
+      walk_expr line t;
+      walk_expr line v
+    | Return value -> Option.iter (walk_expr line) value
+    | If (branches, else_block) ->
+      List.iter
+        (fun (cond, body) ->
+          walk_expr line cond;
+          walk_block body)
+        branches;
+      Option.iter walk_block else_block
+    | While (cond, body) ->
+      walk_expr line cond;
+      walk_block body
+    | For (_, iter, body) ->
+      walk_expr line iter;
+      walk_block body
+    | Match (scrutinee, cases) ->
+      walk_expr line scrutinee;
+      check_match_exhaustive line scrutinee cases;
+      List.iter (fun (_, body) -> walk_block body) cases
+    | Pass | Break | Continue | Import -> ()
+  in
+  List.iter
+    (fun (meth : Mpy_ast.method_def) ->
+      if not (String.equal meth.meth_name "__init__") then walk_block meth.meth_body)
+    cls.Mpy_ast.cls_methods;
+  List.rev !reports

@@ -1,0 +1,15 @@
+(** Method invocation analysis (§3, step 3).
+
+    Two checks on a class's source against the models of its subsystems:
+
+    - every call [self.f.m()] on a *declared* subsystem field [f] must name
+      an operation [m] of [f]'s class (calls on undeclared fields — plain
+      attributes like GPIO pins — are not constrained);
+    - a [match] on the result of such a call must handle *all* possible exit
+      points of the called operation (the paper's "Matching exit points"),
+      and handle nothing the operation cannot return. *)
+
+val check :
+  env:Usage.env -> model:Model.t -> Mpy_ast.class_def -> Report.t list
+(** Diagnostics in source order. [model] must be the extraction of the given
+    class (it provides the declared subsystem fields). *)

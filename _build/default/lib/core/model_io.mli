@@ -1,0 +1,27 @@
+(** Persisting extracted models as S-expressions.
+
+    Verification of a composite only needs the *models* of its substrates,
+    not their source — saving models enables separate verification: extract
+    and validate a library class once, ship the [.shelley] model file, and
+    verify applications against it without re-parsing the library.
+
+    Round-trip guarantee (tested): [of_string (to_string m)] equals [m] up
+    to behavior-regex normal form and the unrecoverable lowering warnings;
+    in particular the usage automaton, the expanded automaton, every exit's
+    next-set, the claims and the per-exit behavior *languages* are
+    preserved exactly. *)
+
+val to_sexp : Model.t -> Sexp_lite.t
+val of_sexp : Sexp_lite.t -> (Model.t, string) result
+
+val to_string : Model.t -> string
+(** Pretty multi-line form, suitable for committing to a repository. *)
+
+val of_string : string -> (Model.t, string) result
+
+val save : path:string -> Model.t -> unit
+val load : path:string -> (Model.t, string) result
+
+val env_of_files : string list -> (Usage.env, string) result
+(** Load several model files into a lookup environment (later files shadow
+    earlier ones on name clashes). *)

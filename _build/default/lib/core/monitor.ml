@@ -1,0 +1,60 @@
+type t = {
+  model : Model.t;
+  nfa : Nfa.t;
+  config : States.Set.t;
+  observed_rev : string list;
+}
+
+let start model =
+  let nfa = Depgraph.usage_nfa model in
+  { model; nfa; config = Nfa.initial_config nfa; observed_rev = [] }
+
+type verdict =
+  | Continue of t
+  | Reject of {
+      op : string;
+      allowed : string list;
+    }
+
+let allowed t =
+  List.filter
+    (fun name ->
+      not (States.Set.is_empty (Nfa.step t.nfa t.config (Symbol.intern name))))
+    (Model.op_names t.model)
+  |> List.sort String.compare
+
+let step t op =
+  let next = Nfa.step t.nfa t.config (Symbol.intern op) in
+  if States.Set.is_empty next then Reject { op; allowed = allowed t }
+  else Continue { t with config = next; observed_rev = op :: t.observed_rev }
+
+let may_stop t = Nfa.accepting_config t.nfa t.config
+let observed t = List.rev t.observed_rev
+
+let run model ops =
+  let rec go t = function
+    | [] ->
+      if may_stop t then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "incomplete usage: cannot stop after '%s' (allowed next: %s)"
+             (match t.observed_rev with
+             | last :: _ -> last
+             | [] -> "<nothing>")
+             (String.concat ", " (allowed t)))
+    | op :: rest -> (
+      match step t op with
+      | Continue t' -> go t' rest
+      | Reject { op; allowed } ->
+        Error
+          (Printf.sprintf "operation '%s' not allowed here (allowed: %s)" op
+             (String.concat ", " allowed)))
+  in
+  go (start model) ops
+
+let pp fmt t =
+  Format.fprintf fmt "[%s] allowed: {%s}%s"
+    (String.concat ", " (observed t))
+    (String.concat ", " (allowed t))
+    (if may_stop t then " (may stop)" else "")

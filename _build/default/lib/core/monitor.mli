@@ -1,0 +1,39 @@
+(** Runtime monitoring of operation ordering.
+
+    A monitor tracks a live object against its extracted model, one
+    operation at a time — runtime verification as the complement of the
+    static check: deploy the same model that was verified and reject bad
+    call sequences as they happen. Monitors are immutable values; stepping
+    returns a new monitor, so speculative exploration is free. *)
+
+type t
+
+val start : Model.t -> t
+(** A monitor in the object's initial state (nothing invoked yet). *)
+
+type verdict =
+  | Continue of t  (** the operation was allowed *)
+  | Reject of {
+      op : string;
+      allowed : string list;  (** what would have been accepted instead *)
+    }
+
+val step : t -> string -> verdict
+(** Observe one operation invocation. *)
+
+val allowed : t -> string list
+(** The operations acceptable next, sorted. *)
+
+val may_stop : t -> bool
+(** Is stopping now a legal end of the object's lifetime (the usage so far
+    ends at a final operation, or nothing was invoked)? *)
+
+val observed : t -> string list
+(** Everything accepted so far, oldest first. *)
+
+val run : Model.t -> string list -> (unit, string) result
+(** Feed a whole trace; [Error message] on the first rejected operation or
+    if the trace stops where stopping is illegal. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line status: observed trace, allowed set, stoppability. *)

@@ -1,0 +1,43 @@
+type result = {
+  models : Model.t list;
+  reports : Report.t list;
+}
+
+let env_of result name =
+  List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) result.models
+
+let find_model = env_of
+
+let verify_program ?(extra_env = fun _ -> None) (program : Mpy_ast.program) =
+  let extractions = List.map Extract.extract_class program.Mpy_ast.prog_classes in
+  let models = List.map (fun (e : Extract.result) -> e.Extract.model) extractions in
+  let env name =
+    match List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) models with
+    | Some _ as found -> found
+    | None -> extra_env name
+  in
+  let reports =
+    List.concat_map
+      (fun ((extraction : Extract.result), (cls : Mpy_ast.class_def)) ->
+        let model = extraction.Extract.model in
+        extraction.Extract.diagnostics
+        @ Validate.check model
+        @ Usage.check ~env model
+        @ Claims.check model
+        @ Invocation.check ~env ~model cls
+        @ Refine.check_inheritance ~env cls model)
+      (List.combine extractions program.Mpy_ast.prog_classes)
+  in
+  { models; reports }
+
+let verify_source ?extra_env source =
+  match Mpy_parser.parse_program source with
+  | program -> Ok (verify_program ?extra_env program)
+  | exception Mpy_parser.Parse_error (msg, line, col) ->
+    Error (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
+  | exception Mpy_lexer.Lex_error (msg, line, col) ->
+    Error (Printf.sprintf "lexical error at line %d, col %d: %s" line col msg)
+
+let verify_source_exn ?extra_env source =
+  verify_program ?extra_env (Mpy_parser.parse_program source)
+let verified result = Report.errors result.reports = []

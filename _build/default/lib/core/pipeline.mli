@@ -1,0 +1,31 @@
+(** The end-to-end Shelley verification pipeline.
+
+    Parse → extract each class (in file order, so substrates can precede the
+    composites that use them) → validate structure → check subsystem usage →
+    check temporal claims → run invocation analysis. All findings are
+    returned as {!Report.t} values; {!verified} is the paper's notion of a
+    program passing verification (no [Error]-severity reports). *)
+
+type result = {
+  models : Model.t list;  (** extraction results, in source order *)
+  reports : Report.t list;
+}
+
+val verify_program : ?extra_env:Usage.env -> Mpy_ast.program -> result
+(** [extra_env] resolves class names not defined in the program itself —
+    typically models loaded from [.shelley] files ({!Model_io.env_of_files})
+    for separate verification. Local definitions shadow it. *)
+
+val verify_source : ?extra_env:Usage.env -> string -> (result, string) Result.t
+(** Parse and verify; [Error message] on lexical or syntax errors. *)
+
+val verify_source_exn : ?extra_env:Usage.env -> string -> result
+(** @raise Mpy_parser.Parse_error / Mpy_lexer.Lex_error on bad input. *)
+
+val verified : result -> bool
+(** No error-severity report. *)
+
+val env_of : result -> Usage.env
+(** Lookup over the extracted models (by class name). *)
+
+val find_model : result -> string -> Model.t option

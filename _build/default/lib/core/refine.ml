@@ -1,0 +1,36 @@
+let usage_inclusion_counterexample a b =
+  let impl = Depgraph.usage_nfa a in
+  let spec = Depgraph.usage_nfa b in
+  let alphabet = Symbol.Set.union (Nfa.alphabet impl) (Nfa.alphabet spec) in
+  Language.inclusion_counterexample ~alphabet ~impl ~spec ()
+
+let refines ~impl ~spec =
+  match usage_inclusion_counterexample impl spec with
+  | None -> Ok ()
+  | Some w -> Error w
+
+let substitutable ~sub ~super =
+  match usage_inclusion_counterexample super sub with
+  | None -> Ok ()
+  | Some w -> Error w
+
+let equivalent_protocols a b =
+  Result.is_ok (refines ~impl:a ~spec:b) && Result.is_ok (refines ~impl:b ~spec:a)
+
+let check_inheritance ~env (cls : Mpy_ast.class_def) (model : Model.t) =
+  List.filter_map
+    (fun base ->
+      match env base with
+      | None -> None (* Pin, ADC, ... — not a verified class *)
+      | Some super -> (
+        match substitutable ~sub:model ~super with
+        | Ok () -> None
+        | Error witness ->
+          Some
+            (Report.structural ~line:cls.Mpy_ast.cls_line Report.Error
+               ~class_name:model.Model.name
+               (Printf.sprintf
+                  "not substitutable for base class %s: the usage '%s' is legal for %s \
+                   but not for %s"
+                  base (Trace.to_string witness) base model.Model.name))))
+    cls.Mpy_ast.cls_bases

@@ -1,0 +1,33 @@
+(** Behavioral refinement between class models.
+
+    Two orderings on usage languages matter when one class is meant to stand
+    in for another (the typestate-flavoured view the paper's related work
+    discusses):
+
+    - [refines ~impl ~spec]: every usage the implementation admits is also a
+      legal usage of the specification ([L(impl) ⊆ L(spec)]) — the
+      implementation never surprises a client that only knows the spec's
+      protocol.
+    - [substitutable ~sub ~super]: every usage that was legal for the
+      superclass is still legal for the subclass ([L(super) ⊆ L(sub)]) —
+      Liskov-style: existing clients keep working.
+
+    A class that both refines and is substitutable for another has the
+    *same* usage language (equivalent protocols).
+
+    {!check_inheritance} applies [substitutable] to the MicroPython
+    inheritance declared in the source ([class Child(Parent):]) whenever
+    both sides carry [@sys]. *)
+
+val refines : impl:Model.t -> spec:Model.t -> (unit, Trace.t) result
+(** [Error w] gives a shortest usage of [impl] that [spec] forbids. *)
+
+val substitutable : sub:Model.t -> super:Model.t -> (unit, Trace.t) result
+(** [Error w] gives a shortest usage of [super] that [sub] forbids. *)
+
+val equivalent_protocols : Model.t -> Model.t -> bool
+
+val check_inheritance :
+  env:Usage.env -> Mpy_ast.class_def -> Model.t -> Report.t list
+(** Reports for every resolvable [@sys] base class the subclass is not
+    substitutable for. *)

@@ -1,0 +1,100 @@
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type usage_failure =
+  | Not_allowed of string
+  | Not_final of string
+
+type t =
+  | Invalid_subsystem_usage of {
+      class_name : string;
+      field : string;
+      subsystem_class : string;
+      counterexample : Trace.t;
+      projected : string list;
+      failure : usage_failure;
+    }
+  | Requirement_failure of {
+      class_name : string;
+      formula : string;
+      counterexample : Trace.t;
+    }
+  | Structural of {
+      class_name : string;
+      line : int option;
+      severity : severity;
+      message : string;
+    }
+
+let severity = function
+  | Invalid_subsystem_usage _ | Requirement_failure _ -> Error
+  | Structural { severity; _ } -> severity
+
+let class_name = function
+  | Invalid_subsystem_usage { class_name; _ }
+  | Requirement_failure { class_name; _ }
+  | Structural { class_name; _ } ->
+    class_name
+
+let structural ?line severity ~class_name message =
+  Structural { class_name; line; severity; message }
+
+let pp_severity fmt = function
+  | Error -> Format.pp_print_string fmt "Error"
+  | Warning -> Format.pp_print_string fmt "Warning"
+  | Info -> Format.pp_print_string fmt "Info"
+
+(* The projected subsystem calls with the offending operation bracketed, in
+   the paper's style: "test, >open< (not final)". *)
+let pp_projected fmt (projected, failure) =
+  (* The failure is always detected at the end of the shortest
+     counterexample, so the offending call is the last one. *)
+  let note =
+    match failure with
+    | Not_allowed _ -> "not allowed here"
+    | Not_final _ -> "not final"
+  in
+  let n = List.length projected in
+  List.iteri
+    (fun i op ->
+      if i > 0 then Format.pp_print_string fmt ", ";
+      if i = n - 1 then Format.fprintf fmt ">%s< (%s)" op note
+      else Format.pp_print_string fmt op)
+    projected
+
+let pp fmt = function
+  | Invalid_subsystem_usage r ->
+    Format.fprintf fmt
+      "@[<v>Error in specification: INVALID SUBSYSTEM USAGE@,\
+       Counter example: %a@,\
+       Subsystems errors:@,\
+      \  * %s '%s': %a@]"
+      Trace.pp r.counterexample r.subsystem_class r.field pp_projected
+      (r.projected, r.failure)
+  | Requirement_failure r ->
+    Format.fprintf fmt
+      "@[<v>Error in specification: FAIL TO MEET REQUIREMENT@,\
+       Formula: %s@,\
+       Counter example: %a@]"
+      r.formula Trace.pp r.counterexample
+  | Structural r ->
+    Format.fprintf fmt "%a in class %s%s: %s" pp_severity r.severity r.class_name
+      (match r.line with
+      | Some l -> Printf.sprintf " (line %d)" l
+      | None -> "")
+      r.message
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_all fmt reports =
+  Format.fprintf fmt "@[<v>";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      pp fmt r)
+    reports;
+  Format.fprintf fmt "@]"
+
+let errors reports = List.filter (fun r -> severity r = Error) reports

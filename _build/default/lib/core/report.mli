@@ -1,0 +1,57 @@
+(** Verification reports, formatted like the paper's transcripts (§2.2). *)
+
+type severity =
+  | Error
+  | Warning
+  | Info
+
+type usage_failure =
+  | Not_allowed of string
+      (** the bracketed operation is not permitted at that point *)
+  | Not_final of string
+      (** the trace may stop after the bracketed operation, which is not
+          final in the subsystem's specification *)
+
+type t =
+  | Invalid_subsystem_usage of {
+      class_name : string;
+      field : string;  (** e.g. ["a"] *)
+      subsystem_class : string;  (** e.g. ["Valve"] *)
+      counterexample : Trace.t;
+          (** mixed trace of operation entries and subsystem calls, e.g.
+              [open_a, a.test, a.open] *)
+      projected : string list;  (** the field's own calls, unqualified *)
+      failure : usage_failure;
+    }
+  | Requirement_failure of {
+      class_name : string;
+      formula : string;  (** as written in the [@claim] *)
+      counterexample : Trace.t;
+    }
+  | Structural of {
+      class_name : string;
+      line : int option;
+      severity : severity;
+      message : string;
+    }
+
+val severity : t -> severity
+val class_name : t -> string
+
+val structural : ?line:int -> severity -> class_name:string -> string -> t
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style rendering, e.g.
+    {v
+Error in specification: INVALID SUBSYSTEM USAGE
+Counter example: open_a, a.test, a.open
+Subsystems errors:
+  * Valve 'a': test, >open< (not final)
+    v} *)
+
+val to_string : t -> string
+
+val pp_all : Format.formatter -> t list -> unit
+
+val errors : t list -> t list
+(** Only the [Error]-severity reports. *)

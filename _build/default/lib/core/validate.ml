@@ -1,0 +1,65 @@
+let check (model : Model.t) =
+  let class_name = model.Model.name in
+  let reports = ref [] in
+  let add ?line severity msg = reports := Report.structural ?line severity ~class_name msg :: !reports in
+  let ops = model.Model.operations in
+  (* Duplicate names. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (op : Model.operation) ->
+      if Hashtbl.mem seen op.op_name then
+        add ~line:op.op_line Report.Error
+          (Printf.sprintf "duplicate operation name '%s'" op.op_name)
+      else Hashtbl.add seen op.op_name ())
+    ops;
+  if ops <> [] then begin
+    if Model.initial_ops model = [] then
+      add ~line:model.Model.line Report.Error
+        "no operation is annotated @op_initial (or @op_initial_final): the class can \
+         never be used";
+    if Model.final_ops model = [] then
+      add ~line:model.Model.line Report.Error
+        "no operation is annotated @op_final (or @op_initial_final): no usage of the \
+         class can ever terminate"
+  end;
+  (* Unknown next-operations and terminal exits of non-final operations. *)
+  List.iter
+    (fun (op : Model.operation) ->
+      List.iter
+        (fun (e : Model.exit_point) ->
+          List.iter
+            (fun next ->
+              if Model.find_op model next = None then
+                add ~line:e.exit_line Report.Error
+                  (Printf.sprintf
+                     "operation '%s' returns unknown operation '%s' (declared operations: %s)"
+                     op.op_name next
+                     (String.concat ", " (Model.op_names model))))
+            e.next_ops;
+          if e.next_ops = [] && not (Annotations.is_final op.op_kind) && not e.implicit then
+            add ~line:e.exit_line Report.Error
+              (Printf.sprintf
+                 "operation '%s' has a terminal exit (returns []) but is not @op_final: \
+                  callers reaching it can neither continue nor stop"
+                 op.op_name))
+        op.exits)
+    ops;
+  (* Reachability. *)
+  let reachable = Depgraph.reachable_ops model in
+  List.iter
+    (fun (op : Model.operation) ->
+      if not (List.mem op.op_name reachable) then
+        add ~line:op.op_line Report.Warning
+          (Printf.sprintf "operation '%s' is unreachable from every initial operation"
+             op.op_name))
+    ops;
+  let reaching = Depgraph.ops_reaching_final model in
+  List.iter
+    (fun (op : Model.operation) ->
+      if List.mem op.op_name reachable && not (List.mem op.op_name reaching) then
+        add ~line:op.op_line Report.Warning
+          (Printf.sprintf
+             "no final operation is reachable after '%s': objects get stuck there"
+             op.op_name))
+    ops;
+  List.rev !reports

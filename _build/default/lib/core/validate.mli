@@ -1,0 +1,19 @@
+(** Structural validation of an extracted model.
+
+    These checks do not need the environment: they catch classes whose own
+    annotation structure is inconsistent before any caller is verified.
+    Severity [Error] means the model cannot be meaningfully checked against;
+    [Warning] flags likely specification bugs (unreachable operations,
+    guaranteed leaks). *)
+
+val check : Model.t -> Report.t list
+(** In order:
+    - duplicate operation names (error);
+    - no initial operation while operations exist (error);
+    - no final operation while operations exist (error — every object's
+      lifetime could never end legally);
+    - a return list naming an operation the class does not declare (error);
+    - a non-final operation with a terminal exit (empty next list): callers
+      reaching it can neither continue nor stop legally (error);
+    - operations unreachable from every initial operation (warning);
+    - operations from which no final operation is reachable (warning). *)

@@ -1,0 +1,1 @@
+lib/ir/derivation.ml: Format List Option Prog Semantics String Trace

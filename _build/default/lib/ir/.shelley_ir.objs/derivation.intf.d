@@ -1,0 +1,1 @@
+lib/ir/derivation.mli: Format Prog Semantics Trace

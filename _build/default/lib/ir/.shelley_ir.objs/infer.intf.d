@@ -1,0 +1,1 @@
+lib/ir/infer.mli: Format Prog Regex

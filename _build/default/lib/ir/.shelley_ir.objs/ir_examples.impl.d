@@ -1,0 +1,1 @@
+lib/ir/ir_examples.ml: List Prog Regex Trace

@@ -1,0 +1,1 @@
+lib/ir/ir_examples.mli: Prog Regex Trace

@@ -1,0 +1,1 @@
+lib/ir/prog_gen.ml: List Prog Random Symbol

@@ -1,0 +1,1 @@
+lib/ir/prog_gen.mli: Prog Random Symbol

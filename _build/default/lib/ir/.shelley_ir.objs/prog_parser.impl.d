@@ -1,0 +1,1 @@
+lib/ir/prog_parser.ml: List Printf Prog String

@@ -1,0 +1,1 @@
+lib/ir/prog_parser.mli: Prog

@@ -1,0 +1,1 @@
+lib/ir/semantics.ml: Format List Prog Trace

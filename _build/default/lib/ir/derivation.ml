@@ -1,0 +1,196 @@
+type judgment = {
+  status : Semantics.status;
+  trace : Trace.t;
+  prog : Prog.t;
+}
+
+let pp_judgment fmt j =
+  Format.fprintf fmt "%a |- [%a] \xe2\x88\x88 %a" Semantics.pp_status j.status Trace.pp j.trace
+    Prog.pp j.prog
+
+type t =
+  | Call of judgment
+  | Skip of judgment
+  | Return of judgment
+  | Seq1 of judgment * t
+  | Seq2 of judgment * t * t
+  | If1 of judgment * t
+  | If2 of judgment * t
+  | Loop1 of judgment
+  | Loop2 of judgment * t
+  | Loop3 of judgment * t * t
+
+let conclusion = function
+  | Call j | Skip j | Return j | Seq1 (j, _) | Seq2 (j, _, _) | If1 (j, _) | If2 (j, _)
+  | Loop1 j
+  | Loop2 (j, _)
+  | Loop3 (j, _, _) ->
+    j
+
+let rule_name = function
+  | Call _ -> "CALL"
+  | Skip _ -> "SKIP"
+  | Return _ -> "RETURN"
+  | Seq1 _ -> "SEQ-1"
+  | Seq2 _ -> "SEQ-2"
+  | If1 _ -> "IF-1"
+  | If2 _ -> "IF-2"
+  | Loop1 _ -> "LOOP-1"
+  | Loop2 _ -> "LOOP-2"
+  | Loop3 _ -> "LOOP-3"
+
+let rec size = function
+  | Call _ | Skip _ | Return _ | Loop1 _ -> 1
+  | Seq1 (_, d) | If1 (_, d) | If2 (_, d) | Loop2 (_, d) -> 1 + size d
+  | Seq2 (_, d1, d2) | Loop3 (_, d1, d2) -> 1 + size d1 + size d2
+
+let judgment_equal a b =
+  a.status = b.status && Trace.equal a.trace b.trace && Prog.equal a.prog b.prog
+
+let rec check d =
+  match d with
+  | Call j -> (
+    match j.prog with
+    | Prog.Call f -> j.status = Semantics.Ongoing && Trace.equal j.trace [ f ]
+    | _ -> false)
+  | Skip j -> j.prog = Prog.Skip && j.status = Semantics.Ongoing && j.trace = []
+  | Return j -> j.prog = Prog.Return && j.status = Semantics.Returned && j.trace = []
+  | Seq1 (j, d1) -> (
+    match j.prog with
+    | Prog.Seq (p1, _) ->
+      j.status = Semantics.Returned
+      && judgment_equal (conclusion d1)
+           { status = Semantics.Returned; trace = j.trace; prog = p1 }
+      && check d1
+    | _ -> false)
+  | Seq2 (j, d1, d2) -> (
+    match j.prog with
+    | Prog.Seq (p1, p2) ->
+      let c1 = conclusion d1 in
+      let c2 = conclusion d2 in
+      c1.status = Semantics.Ongoing
+      && Prog.equal c1.prog p1
+      && c2.status = j.status
+      && Prog.equal c2.prog p2
+      && Trace.equal j.trace (Trace.append c1.trace c2.trace)
+      && check d1 && check d2
+    | _ -> false)
+  | If1 (j, d1) -> (
+    match j.prog with
+    | Prog.If (p1, _) ->
+      judgment_equal (conclusion d1) { j with prog = p1 } && check d1
+    | _ -> false)
+  | If2 (j, d2) -> (
+    match j.prog with
+    | Prog.If (_, p2) ->
+      judgment_equal (conclusion d2) { j with prog = p2 } && check d2
+    | _ -> false)
+  | Loop1 j -> (
+    match j.prog with
+    | Prog.Loop _ -> j.status = Semantics.Ongoing && j.trace = []
+    | _ -> false)
+  | Loop2 (j, d1) -> (
+    match j.prog with
+    | Prog.Loop body ->
+      j.status = Semantics.Returned
+      && judgment_equal (conclusion d1)
+           { status = Semantics.Returned; trace = j.trace; prog = body }
+      && check d1
+    | _ -> false)
+  | Loop3 (j, d1, d2) -> (
+    match j.prog with
+    | Prog.Loop body ->
+      let c1 = conclusion d1 in
+      let c2 = conclusion d2 in
+      c1.status = Semantics.Ongoing
+      && Prog.equal c1.prog body
+      && c2.status = j.status
+      && Prog.equal c2.prog j.prog
+      && Trace.equal j.trace (Trace.append c1.trace c2.trace)
+      && check d1 && check d2
+    | _ -> false)
+
+(* All ways to split l into l1 · l2, shortest l1 first. *)
+let splits l =
+  let rec go l1_rev l2 acc =
+    let acc = (List.rev l1_rev, l2) :: acc in
+    match l2 with
+    | [] -> List.rev acc
+    | x :: rest -> go (x :: l1_rev) rest acc
+  in
+  go [] l []
+
+let rec search status trace (prog : Prog.t) : t option =
+  let j = { status; trace; prog } in
+  match prog with
+  | Prog.Call f ->
+    if status = Semantics.Ongoing && Trace.equal trace [ f ] then Some (Call j) else None
+  | Prog.Skip ->
+    if status = Semantics.Ongoing && trace = [] then Some (Skip j) else None
+  | Prog.Return ->
+    if status = Semantics.Returned && trace = [] then Some (Return j) else None
+  | Prog.Seq (p1, p2) ->
+    let seq1 =
+      if status = Semantics.Returned then
+        Option.map (fun d -> Seq1 (j, d)) (search Semantics.Returned trace p1)
+      else None
+    in
+    let seq2 () =
+      List.find_map
+        (fun (l1, l2) ->
+          match search Semantics.Ongoing l1 p1 with
+          | None -> None
+          | Some d1 ->
+            Option.map (fun d2 -> Seq2 (j, d1, d2)) (search status l2 p2))
+        (splits trace)
+    in
+    (match seq1 with
+    | Some _ as found -> found
+    | None -> seq2 ())
+  | Prog.If (p1, p2) -> (
+    match search status trace p1 with
+    | Some d -> Some (If1 (j, d))
+    | None -> Option.map (fun d -> If2 (j, d)) (search status trace p2))
+  | Prog.Loop body -> (
+    let loop1 =
+      if status = Semantics.Ongoing && trace = [] then Some (Loop1 j) else None
+    in
+    let loop2 () =
+      if status = Semantics.Returned then
+        Option.map (fun d -> Loop2 (j, d)) (search Semantics.Returned trace body)
+      else None
+    in
+    let loop3 () =
+      (* l1 nonempty keeps the recursion well-founded; iterations with an
+         empty ongoing trace never change derivability. *)
+      List.find_map
+        (fun (l1, l2) ->
+          if l1 = [] then None
+          else
+            match search Semantics.Ongoing l1 body with
+            | None -> None
+            | Some d1 ->
+              Option.map (fun d2 -> Loop3 (j, d1, d2)) (search status l2 prog))
+        (splits trace)
+    in
+    match loop1 with
+    | Some _ as found -> found
+    | None -> (
+      match loop2 () with
+      | Some _ as found -> found
+      | None -> loop3 ()))
+
+let pp fmt d =
+  let rec go indent d =
+    Format.fprintf fmt "%s%s: %a@," (String.make indent ' ') (rule_name d) pp_judgment
+      (conclusion d);
+    match d with
+    | Call _ | Skip _ | Return _ | Loop1 _ -> ()
+    | Seq1 (_, d1) | If1 (_, d1) | If2 (_, d1) | Loop2 (_, d1) -> go (indent + 2) d1
+    | Seq2 (_, d1, d2) | Loop3 (_, d1, d2) ->
+      go (indent + 2) d1;
+      go (indent + 2) d2
+  in
+  Format.fprintf fmt "@[<v>";
+  go 0 d;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,60 @@
+(** Explicit derivation trees for the paper's judgment [s ⊢ l ∈ p].
+
+    The Coq mechanization works with derivations as first-class objects; this
+    module is the executable analogue. A {!t} is a proof tree whose nodes
+    name the paper's ten rules (Figure 4, Semantics); {!check} validates
+    every rule application against the side conditions, and {!search}
+    constructs a derivation for a judgment whenever one exists, so
+
+    {v check d && conclusion d = j   ⟺   j is derivable v}
+
+    which the test-suite verifies against the set-based {!Semantics} oracle.
+    {!pp} renders the tree in a proof-assistant-like indented form — the
+    harness prints the derivations behind the paper's Examples 1 and 2. *)
+
+type judgment = {
+  status : Semantics.status;
+  trace : Trace.t;
+  prog : Prog.t;
+}
+
+val pp_judgment : Format.formatter -> judgment -> unit
+(** [0 |- [a, c] ∈ loop(★){…}] *)
+
+type t =
+  | Call of judgment  (** CALL: [0 ⊢ [f] ∈ f()] *)
+  | Skip of judgment  (** SKIP: [0 ⊢ [] ∈ skip] *)
+  | Return of judgment  (** RETURN: [R ⊢ [] ∈ return] *)
+  | Seq1 of judgment * t  (** SEQ-1: early return of [p1] *)
+  | Seq2 of judgment * t * t  (** SEQ-2: [l1] from [p1] ongoing, then [l2] *)
+  | If1 of judgment * t  (** IF-1: the then-branch *)
+  | If2 of judgment * t  (** IF-2: the else-branch *)
+  | Loop1 of judgment  (** LOOP-1: zero iterations *)
+  | Loop2 of judgment * t  (** LOOP-2: the body returns *)
+  | Loop3 of judgment * t * t  (** LOOP-3: one ongoing iteration, then the rest *)
+
+val conclusion : t -> judgment
+
+val rule_name : t -> string
+(** ["CALL"], ["SEQ-2"], … as in the paper. *)
+
+val check : t -> bool
+(** Every node is a correct application of its rule: premises' conclusions
+    line up, traces split as required, statuses match. *)
+
+val size : t -> int
+(** Number of rule applications. *)
+
+val search : Semantics.status -> Trace.t -> Prog.t -> t option
+(** A derivation of [s ⊢ l ∈ p], if the judgment is derivable. Searches
+    loop unrollings breadth-wise over trace splits; terminates because every
+    [Loop3] premise strictly shortens the trace or the program. *)
+
+val pp : Format.formatter -> t -> unit
+(** Indented proof tree, conclusion first:
+    {v
+    LOOP-3: 0 |- [a, c] ∈ loop(★){…}
+      SEQ-2: 0 |- [a, c] ∈ a(); if(★){…}
+        CALL: 0 |- [a] ∈ a()
+        ...
+    v} *)

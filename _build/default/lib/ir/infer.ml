@@ -1,0 +1,48 @@
+type denotation = {
+  ongoing : Regex.t;
+  returned : Regex.t list;
+}
+
+let normalize_set rs = List.sort_uniq Regex.compare rs
+
+let rec denote (p : Prog.t) : denotation =
+  match p with
+  | Call f -> { ongoing = Regex.sym f; returned = [] }
+  | Skip -> { ongoing = Regex.eps; returned = [] }
+  | Return -> { ongoing = Regex.empty; returned = [ Regex.eps ] }
+  | Seq (p1, p2) ->
+    let d1 = denote p1 in
+    let d2 = denote p2 in
+    {
+      ongoing = Regex.seq d1.ongoing d2.ongoing;
+      returned = normalize_set (List.map (Regex.seq d1.ongoing) d2.returned @ d1.returned);
+    }
+  | If (p1, p2) ->
+    let d1 = denote p1 in
+    let d2 = denote p2 in
+    {
+      ongoing = Regex.alt d1.ongoing d2.ongoing;
+      returned = normalize_set (d1.returned @ d2.returned);
+    }
+  | Loop body ->
+    let d = denote body in
+    let starred = Regex.star d.ongoing in
+    { ongoing = starred; returned = normalize_set (List.map (Regex.seq starred) d.returned) }
+
+let infer p =
+  let d = denote p in
+  Regex.alt_list (d.ongoing :: d.returned)
+
+let exit_behaviors p = (denote p).returned
+
+let pp_denotation fmt d =
+  let pp_set fmt = function
+    | [] -> Format.pp_print_string fmt "{}"
+    | rs ->
+      Format.fprintf fmt "{%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           Regex.pp)
+        rs
+  in
+  Format.fprintf fmt "(%a, %a)" Regex.pp d.ongoing pp_set d.returned

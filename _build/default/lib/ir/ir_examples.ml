@@ -1,0 +1,46 @@
+let a = Prog.call_name "a"
+let b = Prog.call_name "b"
+let c = Prog.call_name "c"
+let d = Prog.call_name "d"
+
+let paper_loop = Prog.loop (Prog.seq a (Prog.if_ (Prog.seq b Prog.return) c))
+let example1_trace = Trace.of_names [ "a"; "c"; "a"; "c" ]
+let example2_trace = Trace.of_names [ "a"; "c"; "a"; "b" ]
+
+let example3_expected_ongoing =
+  Regex.star
+    (Regex.seq (Regex.sym_of_name "a")
+       (Regex.alt (Regex.seq (Regex.sym_of_name "b") Regex.empty) (Regex.sym_of_name "c")))
+
+let corpus =
+  [
+    ("single_call", a);
+    ("skip", Prog.skip);
+    ("return_only", Prog.return);
+    ("call_then_return", Prog.seq a Prog.return);
+    ("dead_code_after_return", Prog.seq Prog.return b);
+    ("two_calls", Prog.seq a b);
+    ("branch", Prog.if_ a b);
+    ("branch_one_returns", Prog.if_ (Prog.seq a Prog.return) b);
+    ("branch_both_return", Prog.if_ (Prog.seq a Prog.return) (Prog.seq b Prog.return));
+    ("loop_simple", Prog.loop a);
+    ("loop_skip_body", Prog.loop Prog.skip);
+    ("loop_return_body", Prog.loop (Prog.seq a Prog.return));
+    ("paper_loop", paper_loop);
+    ("nested_loop", Prog.loop (Prog.seq a (Prog.loop b)));
+    ("loop_then_call", Prog.seq (Prog.loop a) b);
+    ("return_before_loop", Prog.seq Prog.return (Prog.loop a));
+    ( "match_three_ways",
+      Prog.choice
+        [ Prog.seq a Prog.return; Prog.seq b Prog.return; Prog.seq c Prog.return ] );
+    ( "valve_test_like",
+      Prog.seq (Prog.call_name "status.value") (Prog.if_ Prog.return Prog.return) );
+    ( "loop_with_nested_branch",
+      Prog.loop (Prog.if_ (Prog.seq a (Prog.if_ b (Prog.seq c Prog.return))) d) );
+    ( "deep_seq",
+      Prog.seq_list [ a; b; c; d; a; b ] );
+    ( "early_return_in_nested_loop",
+      Prog.loop (Prog.seq a (Prog.loop (Prog.if_ (Prog.seq b Prog.return) c))) );
+  ]
+
+let find name = List.assoc name corpus

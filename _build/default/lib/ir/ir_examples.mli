@@ -1,0 +1,25 @@
+(** Programs from the paper and a small corpus used across tests, examples
+    and benchmarks. *)
+
+val paper_loop : Prog.t
+(** The program of Examples 1–3:
+    [loop(★){a(); if(★){b(); return} else {c()}}]. *)
+
+val example1_trace : Trace.t
+(** [[a, c, a, c]] — ongoing in {!paper_loop} (Example 1). *)
+
+val example2_trace : Trace.t
+(** [[a, c, a, b]] — returned in {!paper_loop} (Example 2). *)
+
+val example3_expected_ongoing : Regex.t
+(** [(a·((b·∅)+c))*] — the ongoing component of [⟦paper_loop⟧] as printed in
+    Example 3 (our normal form simplifies [b·∅] to [∅] and then drops it from
+    the union; the language is unchanged). *)
+
+val corpus : (string * Prog.t) list
+(** Named programs covering every construct and the tricky interactions
+    (early return under loop, return in both branches, nested loops, …). *)
+
+val find : string -> Prog.t
+(** Look up a corpus program by name.
+    @raise Not_found if the name is unknown. *)

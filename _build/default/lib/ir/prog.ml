@@ -1,0 +1,94 @@
+type t =
+  | Call of Symbol.t
+  | Skip
+  | Return
+  | Seq of t * t
+  | If of t * t
+  | Loop of t
+
+let call f = Call f
+let call_name n = Call (Symbol.intern n)
+let skip = Skip
+let return = Return
+
+(* Right-associated normal form, so structurally distinct spellings of the
+   same statement sequence compare equal (sequencing is associative in both
+   the semantics and the inference). *)
+let rec seq a b =
+  match a with
+  | Seq (a1, a2) -> seq a1 (seq a2 b)
+  | _ -> Seq (a, b)
+
+let seq_list = function
+  | [] -> Skip
+  | first :: rest -> List.fold_left seq first rest
+
+let if_ a b = If (a, b)
+let loop p = Loop p
+
+let rec choice = function
+  | [] -> Skip
+  | [ p ] -> p
+  | p :: rest -> If (p, choice rest)
+
+let rec size = function
+  | Call _ | Skip | Return -> 1
+  | Seq (a, b) | If (a, b) -> 1 + size a + size b
+  | Loop p -> 1 + size p
+
+let rec depth = function
+  | Call _ | Skip | Return -> 1
+  | Seq (a, b) | If (a, b) -> 1 + max (depth a) (depth b)
+  | Loop p -> 1 + depth p
+
+let rec calls = function
+  | Call f -> Symbol.Set.singleton f
+  | Skip | Return -> Symbol.Set.empty
+  | Seq (a, b) | If (a, b) -> Symbol.Set.union (calls a) (calls b)
+  | Loop p -> calls p
+
+(* A path either ends in return or falls through; [Seq] returns on all paths
+   when the first component does (no path reaches the second) or the second
+   does (every fall-through path continues into it). A loop can always run
+   zero iterations, so it never returns on all paths. *)
+let rec always_returns = function
+  | Call _ | Skip | Loop _ -> false
+  | Return -> true
+  | Seq (a, b) -> always_returns a || always_returns b
+  | If (a, b) -> always_returns a && always_returns b
+
+let rec has_return = function
+  | Call _ | Skip -> false
+  | Return -> true
+  | Seq (a, b) | If (a, b) -> has_return a || has_return b
+  | Loop p -> has_return p
+
+let rec compare a b =
+  let rank = function
+    | Call _ -> 0
+    | Skip -> 1
+    | Return -> 2
+    | Seq _ -> 3
+    | If _ -> 4
+    | Loop _ -> 5
+  in
+  match a, b with
+  | Call f, Call g -> Symbol.compare f g
+  | Skip, Skip | Return, Return -> 0
+  | Seq (a1, a2), Seq (b1, b2) | If (a1, a2), If (b1, b2) ->
+    let c = compare a1 b1 in
+    if c <> 0 then c else compare a2 b2
+  | Loop p, Loop q -> compare p q
+  | _ -> Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+
+let rec pp fmt = function
+  | Call f -> Format.fprintf fmt "%a()" Symbol.pp f
+  | Skip -> Format.pp_print_string fmt "skip"
+  | Return -> Format.pp_print_string fmt "return"
+  | Seq (a, b) -> Format.fprintf fmt "%a; %a" pp a pp b
+  | If (a, b) -> Format.fprintf fmt "if(★){%a} else {%a}" pp a pp b
+  | Loop p -> Format.fprintf fmt "loop(★){%a}" pp p
+
+let to_string p = Format.asprintf "%a" pp p

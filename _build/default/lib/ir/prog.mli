@@ -1,0 +1,61 @@
+(** The paper's imperative calculus (Figure 4, Syntax):
+
+    {v p ::= f() | skip | return | p;p | if(★){p} else {p} | loop(★){p} v}
+
+    A program abstracts one MicroPython method body: only control flow and
+    the method calls of interest survive lowering; conditions, loop bounds
+    and computed values are erased ([*] marks the erased condition). *)
+
+type t =
+  | Call of Symbol.t  (** [f()] — emit event [f]. *)
+  | Skip  (** any instruction of no interest to the analysis *)
+  | Return  (** return (the returned value is handled separately) *)
+  | Seq of t * t  (** [p1; p2] *)
+  | If of t * t  (** [if(★){p1} else {p2}] — nondeterministic choice *)
+  | Loop of t  (** [loop(★){p}] — unknown number of iterations *)
+
+(** {1 Construction helpers} *)
+
+val call : Symbol.t -> t
+val call_name : string -> t
+val skip : t
+val return : t
+
+val seq : t -> t -> t
+(** Sequencing, reassociated to the right so that equal statement sequences
+    are structurally equal regardless of how they were grouped. *)
+
+val seq_list : t list -> t
+(** [seq_list []] is [skip]. *)
+
+val if_ : t -> t -> t
+val loop : t -> t
+
+val choice : t list -> t
+(** N-ary nondeterministic choice, encoded as nested [If]
+    ([choice []] is [skip]). Used when lowering [if/elif/else] and
+    [match/case] chains. *)
+
+(** {1 Observations} *)
+
+val size : t -> int
+(** Number of AST nodes. *)
+
+val depth : t -> int
+
+val calls : t -> Symbol.Set.t
+(** Every event that syntactically occurs. *)
+
+val always_returns : t -> bool
+(** Conservative check: every execution path ends in [return]. *)
+
+val has_return : t -> bool
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style one-line rendering, e.g.
+    [loop(★){a(); if(★){b(); return} else {c()}}]. *)
+
+val to_string : t -> string

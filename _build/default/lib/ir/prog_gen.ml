@@ -1,0 +1,71 @@
+let default_alphabet = List.map Symbol.intern [ "a"; "b"; "c"; "d" ]
+
+let random ?state ~size ~alphabet () =
+  let state =
+    match state with
+    | Some s -> s
+    | None -> Random.State.make_self_init ()
+  in
+  let pick_sym () = List.nth alphabet (Random.State.int state (List.length alphabet)) in
+  let rec go budget =
+    if budget <= 1 then
+      match Random.State.int state 3 with
+      | 0 -> Prog.call (pick_sym ())
+      | 1 -> Prog.skip
+      | _ -> Prog.return
+    else if budget = 2 then
+      if Random.State.bool state then Prog.loop (go 1) else go 1
+    else
+      (* Weight internal nodes heavily so generated programs actually fill
+         their size budget (a fair leaf/internal split makes the expected
+         size a small constant regardless of budget). A binary node costs 1
+         plus both children: split budget - 1. *)
+      match Random.State.int state 8 with
+      | 0 -> (
+        match Random.State.int state 3 with
+        | 0 -> Prog.call (pick_sym ())
+        | 1 -> Prog.skip
+        | _ -> Prog.return)
+      | 1 | 2 | 3 ->
+        let left = 1 + Random.State.int state (budget - 2) in
+        Prog.seq (go left) (go (budget - 1 - left))
+      | 4 | 5 ->
+        let left = 1 + Random.State.int state (budget - 2) in
+        Prog.if_ (go left) (go (budget - 1 - left))
+      | _ -> Prog.loop (go (budget - 1))
+  in
+  go (max 1 size)
+
+let leaves alphabet = Prog.skip :: Prog.return :: List.map Prog.call alphabet
+
+let rec all_of_size ~size ~alphabet =
+  if size <= 0 then []
+  else if size = 1 then leaves alphabet
+  else
+    let unary = List.map Prog.loop (all_of_size ~size:(size - 1) ~alphabet) in
+    let binary =
+      List.concat_map
+        (fun left_size ->
+          let lefts = all_of_size ~size:left_size ~alphabet in
+          let rights = all_of_size ~size:(size - 1 - left_size) ~alphabet in
+          List.concat_map
+            (fun l -> List.concat_map (fun r -> [ Prog.seq l r; Prog.if_ l r ]) rights)
+            lefts)
+        (List.init (size - 2) (fun i -> i + 1))
+    in
+    unary @ binary
+
+let all_upto_size ~size ~alphabet =
+  List.concat_map (fun n -> all_of_size ~size:n ~alphabet) (List.init size (fun i -> i + 1))
+
+let sized_family ~sizes ~seed =
+  let state = Random.State.make [| seed |] in
+  List.map (fun size -> (size, random ~state ~size ~alphabet:default_alphabet ())) sizes
+
+let shrink (p : Prog.t) : Prog.t list =
+  match p with
+  | Call _ -> [ Prog.skip ]
+  | Skip -> []
+  | Return -> [ Prog.skip ]
+  | Seq (a, b) | If (a, b) -> [ a; b ]
+  | Loop body -> [ body ]

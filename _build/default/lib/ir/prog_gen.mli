@@ -1,0 +1,27 @@
+(** Random and exhaustive program generation.
+
+    The QCheck suites wrap {!random}; the bounded-exhaustive theorem tests use
+    {!all_of_size}; the benchmarks use {!sized_family} to sweep program size.
+    Kept qcheck-free so the benchmark executable can use it too. *)
+
+val default_alphabet : Symbol.t list
+(** Four events [a, b, c, d] — enough to make collisions and interleavings
+    interesting while keeping bounded languages small. *)
+
+val random : ?state:Random.State.t -> size:int -> alphabet:Symbol.t list -> unit -> Prog.t
+(** A random program with at most [size] AST nodes, biased roughly evenly
+    over the six constructors (leaves when the budget runs out). *)
+
+val all_of_size : size:int -> alphabet:Symbol.t list -> Prog.t list
+(** Every program with exactly [size] AST nodes over the alphabet. Grows
+    fast; sizes ≤ 5 with a 2-symbol alphabet stay in the low thousands. *)
+
+val all_upto_size : size:int -> alphabet:Symbol.t list -> Prog.t list
+
+val sized_family : sizes:int list -> seed:int -> (int * Prog.t) list
+(** Deterministic benchmark family: one random program per requested size
+    over {!default_alphabet}. *)
+
+val shrink : Prog.t -> Prog.t list
+(** Structural shrink candidates (subterms and leaf simplifications), for
+    QCheck counterexample minimization. *)

@@ -1,0 +1,177 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Kw_skip
+  | Kw_return
+  | Kw_if
+  | Kw_else
+  | Kw_loop
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Semi
+  | Star
+  | Eof
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw_skip -> "'skip'"
+  | Kw_return -> "'return'"
+  | Kw_if -> "'if'"
+  | Kw_else -> "'else'"
+  | Kw_loop -> "'loop'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Lbrace -> "'{'"
+  | Rbrace -> "'}'"
+  | Semi -> "';'"
+  | Star -> "'*'"
+  | Eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.' || c = '%' || c = ':'
+
+let star_utf8 = "\xe2\x98\x85"
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let rec go i =
+    if i >= n then tokens := Eof :: !tokens
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' ->
+        tokens := Lparen :: !tokens;
+        go (i + 1)
+      | ')' ->
+        tokens := Rparen :: !tokens;
+        go (i + 1)
+      | '{' ->
+        tokens := Lbrace :: !tokens;
+        go (i + 1)
+      | '}' ->
+        tokens := Rbrace :: !tokens;
+        go (i + 1)
+      | ';' ->
+        tokens := Semi :: !tokens;
+        go (i + 1)
+      | '*' ->
+        tokens := Star :: !tokens;
+        go (i + 1)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let token =
+          match word with
+          | "skip" -> Kw_skip
+          | "return" -> Kw_return
+          | "if" -> Kw_if
+          | "else" -> Kw_else
+          | "loop" -> Kw_loop
+          | _ -> Ident word
+        in
+        tokens := token :: !tokens;
+        go !j
+      | _ when i + 3 <= n && String.sub input i 3 = star_utf8 ->
+        tokens := Star :: !tokens;
+        go (i + 3)
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  go 0;
+  List.rev !tokens
+
+type cursor = { mutable tokens : token list }
+
+let peek cur =
+  match cur.tokens with
+  | [] -> Eof
+  | t :: _ -> t
+
+let advance cur =
+  match cur.tokens with
+  | [] -> ()
+  | _ :: rest -> cur.tokens <- rest
+
+let expect cur t =
+  if peek cur = t then advance cur
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (describe t) (describe (peek cur))))
+
+(* The erased condition: a parenthesized star (ASCII or UTF-8) or (). *)
+let parse_cond cur =
+  expect cur Lparen;
+  if peek cur = Star then advance cur;
+  expect cur Rparen
+
+let rec parse_seq cur =
+  let first = parse_item cur in
+  let rec continue_ acc =
+    match peek cur with
+    | Semi -> (
+      advance cur;
+      (* Tolerate a trailing semicolon before a closer. *)
+      match peek cur with
+      | Rbrace | Eof -> acc
+      | _ -> continue_ (Prog.seq acc (parse_item cur)))
+    | _ -> acc
+  in
+  continue_ first
+
+and parse_item cur =
+  match peek cur with
+  | Kw_skip ->
+    advance cur;
+    Prog.skip
+  | Kw_return ->
+    advance cur;
+    Prog.return
+  | Kw_if ->
+    advance cur;
+    parse_cond cur;
+    expect cur Lbrace;
+    let then_branch = parse_seq cur in
+    expect cur Rbrace;
+    let else_branch =
+      match peek cur with
+      | Kw_else ->
+        advance cur;
+        expect cur Lbrace;
+        let e = parse_seq cur in
+        expect cur Rbrace;
+        e
+      | _ -> Prog.skip
+    in
+    Prog.if_ then_branch else_branch
+  | Kw_loop ->
+    advance cur;
+    parse_cond cur;
+    expect cur Lbrace;
+    let body = parse_seq cur in
+    expect cur Rbrace;
+    Prog.loop body
+  | Ident name ->
+    advance cur;
+    expect cur Lparen;
+    expect cur Rparen;
+    Prog.call_name name
+  | t -> raise (Parse_error (Printf.sprintf "expected a program but found %s" (describe t)))
+
+let parse input =
+  let cur = { tokens = tokenize input } in
+  let p = parse_seq cur in
+  expect cur Eof;
+  p
+
+let parse_result input =
+  match parse input with
+  | p -> Ok p
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,15 @@
+(** Parser for the paper's textual IR syntax:
+
+    {v p ::= f() | skip | return | p; p | if(★){p} else {p} | loop(★){p} v}
+
+    Accepts exactly what {!Prog.pp} prints (so printing round-trips), plus
+    ASCII-friendly variants: the erased condition may be written with a star or left empty; the else-branch may be omitted (defaults to [skip]); trailing
+    semicolons are tolerated. Used by the CLI's [infer] subcommand and the
+    test-suite. *)
+
+exception Parse_error of string
+
+val parse : string -> Prog.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Prog.t, string) result

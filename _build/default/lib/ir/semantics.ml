@@ -1,0 +1,88 @@
+type status =
+  | Ongoing
+  | Returned
+
+let pp_status fmt = function
+  | Ongoing -> Format.pp_print_string fmt "0"
+  | Returned -> Format.pp_print_string fmt "R"
+
+type trace_sets = {
+  ongoing : Trace.Set.t;
+  returned : Trace.Set.t;
+}
+
+(* All concatenations l1·l2 with l1 ∈ s1, l2 ∈ s2 and |l1·l2| ≤ max_len. *)
+let concat_bounded ~max_len s1 s2 =
+  Trace.Set.fold
+    (fun l1 acc ->
+      let room = max_len - List.length l1 in
+      if room < 0 then acc
+      else
+        Trace.Set.fold
+          (fun l2 acc ->
+            if List.length l2 <= room then Trace.Set.add (Trace.append l1 l2) acc
+            else acc)
+          s2 acc)
+    s1 Trace.Set.empty
+
+(* Least fixpoint of X = {[]} ∪ body·X, bounded by max_len: the ongoing
+   traces of loop(★){p} (rules LOOP-1 and LOOP-3 with s = 0). Terminates
+   because the bounded trace universe is finite and X only grows. *)
+let star_bounded ~max_len body =
+  let rec grow x =
+    let x' = Trace.Set.union x (concat_bounded ~max_len body x) in
+    if Trace.Set.equal x' x then x else grow x'
+  in
+  grow (Trace.Set.singleton Trace.empty)
+
+let rec traces_upto ~max_len p =
+  let singleton l =
+    if List.length l <= max_len then Trace.Set.singleton l else Trace.Set.empty
+  in
+  match (p : Prog.t) with
+  | Call f ->
+    (* CALL: 0 ⊢ [f] ∈ f() *)
+    { ongoing = singleton [ f ]; returned = Trace.Set.empty }
+  | Skip ->
+    (* SKIP: 0 ⊢ [] ∈ skip *)
+    { ongoing = singleton []; returned = Trace.Set.empty }
+  | Return ->
+    (* RETURN: R ⊢ [] ∈ return *)
+    { ongoing = Trace.Set.empty; returned = singleton [] }
+  | Seq (p1, p2) ->
+    let t1 = traces_upto ~max_len p1 in
+    let t2 = traces_upto ~max_len p2 in
+    {
+      (* SEQ-2 with s = 0 *)
+      ongoing = concat_bounded ~max_len t1.ongoing t2.ongoing;
+      (* SEQ-1 ∪ SEQ-2 with s = R *)
+      returned = Trace.Set.union t1.returned (concat_bounded ~max_len t1.ongoing t2.returned);
+    }
+  | If (p1, p2) ->
+    let t1 = traces_upto ~max_len p1 in
+    let t2 = traces_upto ~max_len p2 in
+    {
+      (* IF-1 ∪ IF-2 *)
+      ongoing = Trace.Set.union t1.ongoing t2.ongoing;
+      returned = Trace.Set.union t1.returned t2.returned;
+    }
+  | Loop body ->
+    let tb = traces_upto ~max_len body in
+    (* LOOP-1/LOOP-3(s=0): ongoing = (ongoing body)* *)
+    let ongoing = star_bounded ~max_len tb.ongoing in
+    (* LOOP-2/LOOP-3(s=R): returned = (ongoing body)* · returned body *)
+    { ongoing; returned = concat_bounded ~max_len ongoing tb.returned }
+
+let behavior_upto ~max_len p =
+  let t = traces_upto ~max_len p in
+  Trace.Set.union t.ongoing t.returned
+
+let derivable status l p =
+  let t = traces_upto ~max_len:(List.length l) p in
+  match status with
+  | Ongoing -> Trace.Set.mem l t.ongoing
+  | Returned -> Trace.Set.mem l t.returned
+
+let in_behavior l p =
+  let t = traces_upto ~max_len:(List.length l) p in
+  Trace.Set.mem l t.ongoing || Trace.Set.mem l t.returned

@@ -1,0 +1,36 @@
+(** The paper's trace-based semantics (Figure 4, Semantics), implemented as a
+    bounded-exhaustive oracle.
+
+    The judgment [s ⊢ l ∈ p] relates a status [s] (ongoing [0] or returned
+    [R]), a trace [l] and a program [p]. Loops make the full trace set
+    infinite, but the set of traces of length ≤ k is finite and computable as
+    a least fixpoint; that bounded set is what this module produces.
+
+    Crucially, this implementation follows the inference *rules* directly and
+    shares no code with {!Infer}; the test-suite replays the paper's
+    Theorems 1/2 by comparing the two on bounded languages. *)
+
+type status =
+  | Ongoing  (** the paper's [0] *)
+  | Returned  (** the paper's [R] *)
+
+val pp_status : Format.formatter -> status -> unit
+
+type trace_sets = {
+  ongoing : Trace.Set.t;  (** [{l | 0 ⊢ l ∈ p, |l| ≤ k}] *)
+  returned : Trace.Set.t;  (** [{l | R ⊢ l ∈ p, |l| ≤ k}] *)
+}
+
+val traces_upto : max_len:int -> Prog.t -> trace_sets
+(** Both bounded trace sets of a program. *)
+
+val behavior_upto : max_len:int -> Prog.t -> Trace.Set.t
+(** The paper's Definition 1, bounded:
+    [L(p) ∩ {l | |l| ≤ k} = ongoing ∪ returned]. *)
+
+val derivable : status -> Trace.t -> Prog.t -> bool
+(** Decides the judgment [s ⊢ l ∈ p] (exactly — the bound is taken from the
+    trace's own length). *)
+
+val in_behavior : Trace.t -> Prog.t -> bool
+(** Decides [l ∈ L(p)]. *)

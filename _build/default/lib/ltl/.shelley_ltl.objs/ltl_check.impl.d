@@ -1,0 +1,1 @@
+lib/ltl/ltl_check.ml: Dfa Format Language Ltl_parser Ltlf Nfa Progression Symbol Trace

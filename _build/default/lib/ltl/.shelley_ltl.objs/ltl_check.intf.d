@@ -1,0 +1,1 @@
+lib/ltl/ltl_check.mli: Format Ltlf Nfa Symbol Trace

@@ -1,0 +1,1 @@
+lib/ltl/ltl_monitor.ml: Array Dfa Format List Progression

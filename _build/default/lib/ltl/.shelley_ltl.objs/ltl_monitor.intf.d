@@ -1,0 +1,1 @@
+lib/ltl/ltl_monitor.mli: Format Ltlf Symbol Trace

@@ -1,0 +1,1 @@
+lib/ltl/ltl_parser.ml: List Ltlf Printf String

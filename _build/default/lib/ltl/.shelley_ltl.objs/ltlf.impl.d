@@ -1,0 +1,1 @@
+lib/ltl/ltlf.ml: Format List Stdlib Symbol

@@ -1,0 +1,1 @@
+lib/ltl/ltlf.mli: Format Symbol Trace

@@ -1,0 +1,1 @@
+lib/ltl/nnf.ml: Ltlf

@@ -1,0 +1,1 @@
+lib/ltl/patterns.ml: Ltlf

@@ -1,0 +1,1 @@
+lib/ltl/progression.ml: Array Dfa Fun Hashtbl List Ltlf Map Nnf Queue Symbol

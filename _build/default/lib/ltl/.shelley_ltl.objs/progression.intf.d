@@ -1,0 +1,1 @@
+lib/ltl/progression.mli: Dfa Ltlf Symbol

@@ -1,0 +1,1 @@
+lib/ltl/tableau.ml: Array Fun Hashtbl Language List Ltl_check Ltlf Nfa Nnf Progression Queue Set Symbol

@@ -1,0 +1,1 @@
+lib/ltl/tableau.mli: Ltl_check Ltlf Nfa Symbol

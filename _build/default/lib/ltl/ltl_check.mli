@@ -1,0 +1,34 @@
+(** Claim checking: does every trace of an implementation automaton satisfy
+    an LTLf formula?
+
+    This is the engine behind Shelley's
+    ["Error in specification: FAIL TO MEET REQUIREMENT"] report: the
+    implementation language is compared against the progression DFA of the
+    claim, and a violation comes with a length-minimal counterexample
+    trace. *)
+
+type violation = {
+  formula : Ltlf.t;
+  counterexample : Trace.t;  (** a shortest implementation trace violating the formula *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+(** The paper's transcript shape:
+    {v
+    Formula: (!a.open) W b.open
+    Counter example: a.test, a.open, ...
+    v} *)
+
+val check :
+  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> Ltlf.t -> (unit, violation) result
+(** [check ~impl φ] verifies [L(impl) ⊆ L(φ)] over the union of the
+    implementation alphabet, the formula's atoms, and [?alphabet]. *)
+
+val check_claim :
+  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> string -> (unit, violation) result
+(** Parse then {!check}.
+    @raise Ltl_parser.Parse_error on a malformed claim string. *)
+
+val holds_on_all_words : max_len:int -> Ltlf.t -> Nfa.t -> bool
+(** Test-oracle variant: evaluate {!Ltlf.holds} directly on every accepted
+    word up to [max_len] — used to validate the automaton construction. *)

@@ -1,0 +1,73 @@
+type verdict =
+  | Definitely_true
+  | Definitely_false
+  | Presumably_true
+  | Presumably_false
+
+let pp_verdict fmt v =
+  Format.pp_print_string fmt
+    (match v with
+    | Definitely_true -> "definitely true"
+    | Definitely_false -> "definitely false"
+    | Presumably_true -> "presumably true"
+    | Presumably_false -> "presumably false")
+
+let is_definitive = function
+  | Definitely_true | Definitely_false -> true
+  | Presumably_true | Presumably_false -> false
+
+type t = {
+  dfa : Dfa.t;
+  verdicts : verdict array;
+  state : int;
+}
+
+(* Forward reachability per state (states reachable from q, including q). *)
+let reachability dfa =
+  let n = Dfa.num_states dfa in
+  let syms = Dfa.alphabet dfa in
+  Array.init n (fun q ->
+      let seen = Array.make n false in
+      let rec go q =
+        if not seen.(q) then begin
+          seen.(q) <- true;
+          List.iter (fun sym -> go (Dfa.next dfa q sym)) syms
+        end
+      in
+      go q;
+      seen)
+
+let classify dfa =
+  let n = Dfa.num_states dfa in
+  let reach = reachability dfa in
+  Array.init n (fun q ->
+      let reachable_accepting = ref false in
+      let reachable_rejecting = ref false in
+      Array.iteri
+        (fun q' reachable ->
+          if reachable then
+            if Dfa.is_accept dfa q' then reachable_accepting := true
+            else reachable_rejecting := true)
+        reach.(q);
+      match !reachable_accepting, !reachable_rejecting with
+      | true, false -> Definitely_true
+      | false, _ -> Definitely_false
+      | true, true -> if Dfa.is_accept dfa q then Presumably_true else Presumably_false)
+
+let start ?max_states ~alphabet formula =
+  let dfa = Progression.to_dfa ?max_states ~alphabet formula in
+  { dfa; verdicts = classify dfa; state = Dfa.start dfa }
+
+let step t event = { t with state = Dfa.next t.dfa t.state event }
+let verdict t = t.verdicts.(t.state)
+
+let run ?max_states ~alphabet formula trace =
+  verdict (List.fold_left step (start ?max_states ~alphabet formula) trace)
+
+let verdict_trajectory ?max_states ~alphabet formula trace =
+  let monitor = start ?max_states ~alphabet formula in
+  let rec go monitor acc = function
+    | [] -> List.rev (verdict monitor :: acc)
+    | e :: rest -> go (step monitor e) (verdict monitor :: acc) rest
+  in
+  go monitor [] trace

@@ -1,0 +1,48 @@
+(** Four-valued runtime monitoring of LTLf claims (RV-LTL style).
+
+    While {!Ltl_check} decides a claim against the *whole* language of a
+    model, a monitor watches one live trace, event by event, and reports
+    what is already knowable about the still-growing execution:
+
+    - [Definitely_true]: every possible continuation (including stopping
+      now) satisfies the claim — monitoring can be switched off;
+    - [Definitely_false]: no continuation can satisfy it — raise the alarm;
+    - [Presumably_true]: stopping now would satisfy the claim, but some
+      continuation could still violate it;
+    - [Presumably_false]: stopping now would violate it, but some
+      continuation could still satisfy it.
+
+    Implemented over the {!Progression} DFA: the two definitive verdicts are
+    reachability properties of the current state, so each step is a single
+    table lookup. Verdicts are *monotone*: once definitive, a verdict never
+    changes (checked by the test-suite). *)
+
+type verdict =
+  | Definitely_true
+  | Definitely_false
+  | Presumably_true
+  | Presumably_false
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val is_definitive : verdict -> bool
+
+type t
+
+val start : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> t
+(** Builds the progression DFA and the per-state verdict table. The alphabet
+    must cover every event the monitored system can emit; {!step} on a
+    symbol outside it raises [Invalid_argument].
+    @raise Progression.State_limit if the claim's automaton exceeds
+    [max_states] (default 50000). *)
+
+val step : t -> Symbol.t -> t
+val verdict : t -> verdict
+
+val run : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict
+(** The verdict after feeding the whole trace. *)
+
+val verdict_trajectory :
+  ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict list
+(** The verdict after each prefix (starting with the empty prefix) — length
+    [length trace + 1]. *)

@@ -1,0 +1,193 @@
+exception Parse_error of string
+
+type token =
+  | Ident of string
+  | Kw_true
+  | Kw_false
+  | Op_not
+  | Op_and
+  | Op_or
+  | Op_implies
+  | Op_until
+  | Op_wuntil
+  | Op_next
+  | Op_wnext
+  | Op_globally
+  | Op_finally
+  | Lparen
+  | Rparen
+  | Eof
+
+let describe = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Kw_true -> "'true'"
+  | Kw_false -> "'false'"
+  | Op_not -> "'!'"
+  | Op_and -> "'&&'"
+  | Op_or -> "'||'"
+  | Op_implies -> "'->'"
+  | Op_until -> "'U'"
+  | Op_wuntil -> "'W'"
+  | Op_next -> "'X'"
+  | Op_wnext -> "'WX'"
+  | Op_globally -> "'G'"
+  | Op_finally -> "'F'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit Eof
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '(' ->
+        emit Lparen;
+        go (i + 1)
+      | ')' ->
+        emit Rparen;
+        go (i + 1)
+      | '!' ->
+        emit Op_not;
+        go (i + 1)
+      | '&' when i + 1 < n && input.[i + 1] = '&' ->
+        emit Op_and;
+        go (i + 2)
+      | '|' when i + 1 < n && input.[i + 1] = '|' ->
+        emit Op_or;
+        go (i + 2)
+      | '-' when i + 1 < n && input.[i + 1] = '>' ->
+        emit Op_implies;
+        go (i + 2)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let token =
+          match word with
+          | "true" -> Kw_true
+          | "false" -> Kw_false
+          | "U" -> Op_until
+          | "W" -> Op_wuntil
+          | "X" -> Op_next
+          | "WX" -> Op_wnext
+          | "G" -> Op_globally
+          | "F" -> Op_finally
+          | _ -> Ident word
+        in
+        emit token;
+        go !j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  go 0;
+  List.rev !tokens
+
+(* Recursive descent over a mutable token cursor. *)
+type cursor = { mutable tokens : token list }
+
+let peek cur =
+  match cur.tokens with
+  | [] -> Eof
+  | t :: _ -> t
+
+let advance cur =
+  match cur.tokens with
+  | [] -> ()
+  | _ :: rest -> cur.tokens <- rest
+
+let expect cur t =
+  if peek cur = t then advance cur
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (describe t) (describe (peek cur))))
+
+let rec parse_formula cur =
+  (* Implication binds loosest, right-associative over until-level. *)
+  let left = parse_until cur in
+  match peek cur with
+  | Op_implies ->
+    advance cur;
+    Ltlf.implies left (parse_formula cur)
+  | _ -> left
+
+and parse_until cur =
+  let left = parse_or cur in
+  match peek cur with
+  | Op_until ->
+    advance cur;
+    Ltlf.until left (parse_until cur)
+  | Op_wuntil ->
+    advance cur;
+    Ltlf.wuntil left (parse_until cur)
+  | _ -> left
+
+and parse_or cur =
+  let left = parse_and cur in
+  match peek cur with
+  | Op_or ->
+    advance cur;
+    Ltlf.disj left (parse_or cur)
+  | _ -> left
+
+and parse_and cur =
+  let left = parse_unary cur in
+  match peek cur with
+  | Op_and ->
+    advance cur;
+    Ltlf.conj left (parse_and cur)
+  | _ -> left
+
+and parse_unary cur =
+  match peek cur with
+  | Op_not ->
+    advance cur;
+    Ltlf.neg (parse_unary cur)
+  | Op_next ->
+    advance cur;
+    Ltlf.next (parse_unary cur)
+  | Op_wnext ->
+    advance cur;
+    Ltlf.wnext (parse_unary cur)
+  | Op_globally ->
+    advance cur;
+    Ltlf.globally (parse_unary cur)
+  | Op_finally ->
+    advance cur;
+    Ltlf.finally (parse_unary cur)
+  | Kw_true ->
+    advance cur;
+    Ltlf.tt
+  | Kw_false ->
+    advance cur;
+    Ltlf.ff
+  | Ident name ->
+    advance cur;
+    Ltlf.atom_name name
+  | Lparen ->
+    advance cur;
+    let f = parse_formula cur in
+    expect cur Rparen;
+    f
+  | t -> raise (Parse_error (Printf.sprintf "expected a formula but found %s" (describe t)))
+
+let parse input =
+  let cur = { tokens = tokenize input } in
+  let f = parse_formula cur in
+  expect cur Eof;
+  f
+
+let parse_result input =
+  match parse input with
+  | f -> Ok f
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,24 @@
+(** Parser for claim strings, e.g. ["(!a.open) W b.open"].
+
+    Grammar (loosest binding first):
+
+    {v
+    formula  ::= or_f (('W' | 'U') or_f)*          right-associative
+    or_f     ::= and_f ('||' and_f)*
+    and_f    ::= unary ('&&' unary)*
+    unary    ::= ('!' | 'X' | 'WX' | 'G' | 'F') unary
+               | 'true' | 'false' | atom | '(' formula ')'
+    atom     ::= ident ('.' ident)*                 e.g. a.open
+    v}
+
+    ['->'] is also accepted for implication (sugar over [!]/[||]). The
+    single-letter temporal keywords are reserved: an event cannot be named
+    [W], [U], [X], [G] or [F] (qualify it, e.g. [sys.W], if ever needed). *)
+
+exception Parse_error of string
+(** Raised with a human-readable message and position. *)
+
+val parse : string -> Ltlf.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Ltlf.t, string) result

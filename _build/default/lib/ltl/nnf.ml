@@ -1,0 +1,35 @@
+let rec nnf (f : Ltlf.t) : Ltlf.t =
+  match f with
+  | True | False | Atom _ -> f
+  | And (a, b) -> Ltlf.conj (nnf a) (nnf b)
+  | Or (a, b) -> Ltlf.disj (nnf a) (nnf b)
+  | Next a -> Ltlf.next (nnf a)
+  | Wnext a -> Ltlf.wnext (nnf a)
+  | Until (a, b) -> Ltlf.until (nnf a) (nnf b)
+  | Wuntil (a, b) -> Ltlf.wuntil (nnf a) (nnf b)
+  | Globally a -> Ltlf.globally (nnf a)
+  | Finally a -> Ltlf.finally (nnf a)
+  | Not g -> neg g
+
+and neg (g : Ltlf.t) : Ltlf.t =
+  match g with
+  | True -> Ltlf.ff
+  | False -> Ltlf.tt
+  | Atom _ -> Ltlf.Not g
+  | Not h -> nnf h
+  | And (a, b) -> Ltlf.disj (neg a) (neg b)
+  | Or (a, b) -> Ltlf.conj (neg a) (neg b)
+  | Next a -> Ltlf.wnext (neg a)
+  | Wnext a -> Ltlf.next (neg a)
+  | Globally a -> Ltlf.finally (neg a)
+  | Finally a -> Ltlf.globally (neg a)
+  | Until (a, b) -> Ltlf.wuntil (neg b) (Ltlf.conj (neg a) (neg b))
+  | Wuntil (a, b) -> Ltlf.until (neg b) (Ltlf.conj (neg a) (neg b))
+
+let rec is_nnf (f : Ltlf.t) =
+  match f with
+  | True | False | Atom _ -> true
+  | Not (Atom _) -> true
+  | Not _ -> false
+  | And (a, b) | Or (a, b) | Until (a, b) | Wuntil (a, b) -> is_nnf a && is_nnf b
+  | Next a | Wnext a | Globally a | Finally a -> is_nnf a

@@ -1,0 +1,21 @@
+(** Negation normal form for LTLf.
+
+    Negations are pushed down to atoms using the finite-trace dualities
+    (note [X]/[WX] swap under negation, unlike infinite-trace LTL):
+
+    {v
+    ¬X φ    = WX ¬φ          ¬WX φ   = X ¬φ
+    ¬G φ    = F ¬φ           ¬F φ    = G ¬φ
+    ¬(φ U ψ) = (¬ψ) W (¬φ ∧ ¬ψ)
+    ¬(φ W ψ) = (¬ψ) U (¬φ ∧ ¬ψ)
+    v}
+
+    The result contains [Not] only directly above [Atom]s (and [True]/[False]
+    are normalized away where possible). Language-preserving — checked by the
+    test-suite against {!Ltlf.holds}. The {!Tableau} construction requires
+    its input in this form. *)
+
+val nnf : Ltlf.t -> Ltlf.t
+
+val is_nnf : Ltlf.t -> bool
+(** [Not] appears only on atoms. *)

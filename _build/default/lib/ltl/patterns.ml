@@ -1,0 +1,26 @@
+let absence p = Ltlf.globally (Ltlf.neg (Ltlf.atom p))
+let existence p = Ltlf.finally (Ltlf.atom p)
+let universality p = Ltlf.globally (Ltlf.atom p)
+
+let response ~cause ~effect =
+  Ltlf.globally (Ltlf.implies (Ltlf.atom cause) (Ltlf.finally (Ltlf.atom effect)))
+
+let precedence ~first ~before = Ltlf.wuntil (Ltlf.neg (Ltlf.atom before)) (Ltlf.atom first)
+
+let absence_after ~trigger ~banned =
+  Ltlf.globally
+    (Ltlf.implies (Ltlf.atom trigger) (Ltlf.wnext (Ltlf.globally (Ltlf.neg (Ltlf.atom banned)))))
+
+let existence_between ~open_ ~close =
+  Ltlf.globally (Ltlf.implies (Ltlf.atom open_) (Ltlf.next (Ltlf.finally (Ltlf.atom close))))
+
+let never_adjacent p =
+  Ltlf.globally (Ltlf.implies (Ltlf.atom p) (Ltlf.wnext (Ltlf.neg (Ltlf.atom p))))
+
+let all =
+  [
+    ("response", fun cause effect -> response ~cause ~effect);
+    ("precedence", fun first before -> precedence ~first ~before);
+    ("absence_after", fun trigger banned -> absence_after ~trigger ~banned);
+    ("existence_between", fun open_ close -> existence_between ~open_ ~close);
+  ]

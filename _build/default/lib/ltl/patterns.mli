@@ -1,0 +1,39 @@
+(** Property-specification patterns for claims (Dwyer et al.), instantiated
+    for Shelley's event atoms.
+
+    Writing temporal formulas by hand is error-prone; these constructors
+    cover the shapes CPS requirements almost always take, and the test-suite
+    pins each one against its textbook LTLf expansion. Every pattern is a
+    plain {!Ltlf.t}, so they compose with the rest of the logic. *)
+
+val absence : Symbol.t -> Ltlf.t
+(** [G !p] — the event never happens. *)
+
+val existence : Symbol.t -> Ltlf.t
+(** [F p] — the event happens at least once. *)
+
+val universality : Symbol.t -> Ltlf.t
+(** [G p] — every event is this one. *)
+
+val response : cause:Symbol.t -> effect:Symbol.t -> Ltlf.t
+(** [G (cause -> F effect)] — every cause is eventually followed by the
+    effect (e.g. every [a.open] is followed by [a.close]). *)
+
+val precedence : first:Symbol.t -> before:Symbol.t -> Ltlf.t
+(** [(!before) W first] — [before] cannot happen until [first] has (the
+    paper's claim is [precedence ~first:b.open ~before:a.open]). *)
+
+val absence_after : trigger:Symbol.t -> banned:Symbol.t -> Ltlf.t
+(** [G (trigger -> WX (G !banned))] — once the trigger happens, the banned
+    event never happens afterwards. *)
+
+val existence_between : open_:Symbol.t -> close:Symbol.t -> Ltlf.t
+(** [G (open_ -> X (F close))] — between an opening event and the end of the
+    trace there is a closing event strictly later. The canonical
+    "never leave the valve open" claim. *)
+
+val never_adjacent : Symbol.t -> Ltlf.t
+(** [G (p -> WX !p)] — the event never happens twice in a row. *)
+
+val all : (string * (Symbol.t -> Symbol.t -> Ltlf.t)) list
+(** The binary patterns by name, for CLI/binding use. *)

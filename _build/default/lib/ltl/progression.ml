@@ -1,0 +1,123 @@
+let nonempty = Ltlf.finally Ltlf.tt
+
+(* Flatten an And/Or spine into a sorted, deduplicated list of juncts. *)
+let rec flatten_and acc (f : Ltlf.t) =
+  match f with
+  | And (a, b) -> flatten_and (flatten_and acc a) b
+  | f -> f :: acc
+
+let rec flatten_or acc (f : Ltlf.t) =
+  match f with
+  | Or (a, b) -> flatten_or (flatten_or acc a) b
+  | f -> f :: acc
+
+let rec aci (f : Ltlf.t) : Ltlf.t =
+  match f with
+  | True | False | Atom _ -> f
+  | Not g -> Ltlf.neg (aci g)
+  | Next g -> Ltlf.next (aci g)
+  | Wnext g -> Ltlf.wnext (aci g)
+  | Globally g -> Ltlf.globally (aci g)
+  | Finally g -> Ltlf.finally (aci g)
+  | Until (a, b) -> Ltlf.until (aci a) (aci b)
+  | Wuntil (a, b) -> Ltlf.wuntil (aci a) (aci b)
+  | And _ ->
+    let juncts = flatten_and [] f |> List.map aci in
+    let juncts = List.concat_map (flatten_and []) juncts in
+    let juncts = List.sort_uniq Ltlf.compare juncts in
+    if List.mem Ltlf.ff juncts then Ltlf.ff
+    else
+      (match List.filter (fun g -> g <> Ltlf.tt) juncts with
+      | [] -> Ltlf.tt
+      | first :: rest -> List.fold_left (fun acc g -> Ltlf.And (acc, g)) first rest)
+  | Or _ ->
+    let juncts = flatten_or [] f |> List.map aci in
+    let juncts = List.concat_map (flatten_or []) juncts in
+    let juncts = List.sort_uniq Ltlf.compare juncts in
+    if List.mem Ltlf.tt juncts then Ltlf.tt
+    else
+      (match List.filter (fun g -> g <> Ltlf.ff) juncts with
+      | [] -> Ltlf.ff
+      | first :: rest -> List.fold_left (fun acc g -> Ltlf.Or (acc, g)) first rest)
+
+(* Negation normal form first: progression through [Not] merely wraps the
+   progressed obligation, so without NNF the state formulas can nest
+   negations unboundedly and the obligation closure need not be finite. In
+   NNF the reachable obligations are ACI combinations over a finite base,
+   which guarantees the automaton construction terminates. *)
+let normalize f = aci (Nnf.nnf f)
+
+let rec progress (f : Ltlf.t) e : Ltlf.t =
+  match f with
+  | True -> Ltlf.tt
+  | False -> Ltlf.ff
+  | Atom a -> if Symbol.equal a e then Ltlf.tt else Ltlf.ff
+  | Not g -> Ltlf.neg (progress g e)
+  | And (a, b) -> Ltlf.conj (progress a e) (progress b e)
+  | Or (a, b) -> Ltlf.disj (progress a e) (progress b e)
+  | Next g -> Ltlf.conj nonempty g
+  | Wnext g -> Ltlf.disj (Ltlf.neg nonempty) g
+  | Until (a, b) -> Ltlf.disj (progress b e) (Ltlf.conj (progress a e) f)
+  | Wuntil (a, b) -> Ltlf.disj (progress b e) (Ltlf.conj (progress a e) f)
+  | Globally g -> Ltlf.conj (progress g e) f
+  | Finally g -> Ltlf.disj (progress g e) f
+
+let accepts_empty f = Ltlf.holds f []
+
+exception State_limit of int
+
+module Fmap = Map.Make (struct
+  type t = Ltlf.t
+
+  let compare = Ltlf.compare
+end)
+
+let explore ?(max_states = 50_000) ~alphabet f =
+  let start = normalize f in
+  let index = ref Fmap.empty in
+  let order = ref [] in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  let intern g =
+    match Fmap.find_opt g !index with
+    | Some i -> i
+    | None ->
+      let i = !count in
+      if i >= max_states then raise (State_limit max_states);
+      incr count;
+      index := Fmap.add g i !index;
+      order := g :: !order;
+      Queue.add g queue;
+      i
+  in
+  let start_id = intern start in
+  let edges = Hashtbl.create 64 in
+  let rec loop () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some g ->
+      let src = Fmap.find g !index in
+      List.iter
+        (fun e ->
+          let dst = intern (normalize (progress g e)) in
+          Hashtbl.replace edges (src, e) dst)
+        alphabet;
+      loop ()
+  in
+  loop ();
+  (start_id, Array.of_list (List.rev !order), edges, !count)
+
+let to_dfa ?max_states ~alphabet f =
+  let alphabet = List.sort_uniq Symbol.compare alphabet in
+  let start_id, states, edges, count = explore ?max_states ~alphabet f in
+  Dfa.create ~alphabet ~num_states:count ~start:start_id
+    ~accept:
+      (List.filter (fun i -> accepts_empty states.(i)) (List.init count Fun.id))
+    ~next:(fun q sym ->
+      match Hashtbl.find_opt edges (q, sym) with
+      | Some q' -> q'
+      | None -> assert false)
+
+let num_reachable_obligations ~alphabet f =
+  let _, _, _, count = explore ~alphabet:(List.sort_uniq Symbol.compare alphabet) f in
+  count

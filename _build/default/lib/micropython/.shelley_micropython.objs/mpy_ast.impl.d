@@ -1,0 +1,1 @@
+lib/micropython/mpy_ast.ml: Format Fun List Option Printf String

@@ -1,0 +1,1 @@
+lib/micropython/mpy_ast.mli: Format

@@ -1,0 +1,1 @@
+lib/micropython/mpy_lexer.ml: Buffer List Mpy_token Printf String

@@ -1,0 +1,1 @@
+lib/micropython/mpy_lexer.mli: Mpy_token

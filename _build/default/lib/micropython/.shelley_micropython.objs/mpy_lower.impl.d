@@ -1,0 +1,1 @@
+lib/micropython/mpy_lower.ml: Fun List Mpy_ast Option Printf Prog String Symbol

@@ -1,0 +1,1 @@
+lib/micropython/mpy_lower.mli: Mpy_ast Prog Symbol

@@ -1,0 +1,1 @@
+lib/micropython/mpy_parser.ml: List Mpy_ast Mpy_lexer Mpy_token Printf String

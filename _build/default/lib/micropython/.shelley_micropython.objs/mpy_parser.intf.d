@@ -1,0 +1,1 @@
+lib/micropython/mpy_parser.mli: Mpy_ast

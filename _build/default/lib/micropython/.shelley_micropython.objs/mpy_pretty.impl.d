@@ -1,0 +1,1 @@
+lib/micropython/mpy_pretty.ml: Bool Int List Mpy_ast Option Printf String

@@ -1,0 +1,1 @@
+lib/micropython/mpy_pretty.mli: Mpy_ast

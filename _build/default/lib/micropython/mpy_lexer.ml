@@ -1,0 +1,277 @@
+exception Lex_error of string * int * int
+
+let keyword_of = function
+  | "class" -> Some Mpy_token.Kw_class
+  | "def" -> Some Kw_def
+  | "return" -> Some Kw_return
+  | "if" -> Some Kw_if
+  | "elif" -> Some Kw_elif
+  | "else" -> Some Kw_else
+  | "match" -> Some Kw_match
+  | "case" -> Some Kw_case
+  | "for" -> Some Kw_for
+  | "while" -> Some Kw_while
+  | "in" -> Some Kw_in
+  | "pass" -> Some Kw_pass
+  | "True" -> Some Kw_true
+  | "False" -> Some Kw_false
+  | "None" -> Some Kw_none
+  | "not" -> Some Kw_not
+  | "and" -> Some Kw_and
+  | "or" -> Some Kw_or
+  | "import" -> Some Kw_import
+  | "from" -> Some Kw_from
+  | "break" -> Some Kw_break
+  | "continue" -> Some Kw_continue
+  | _ -> None
+
+let is_name_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of the beginning of the current line *)
+  mutable indents : int list;  (* indentation stack, innermost first *)
+  mutable depth : int;  (* nesting of () and [] — suppresses layout *)
+  mutable at_line_start : bool;
+  mutable tokens : Mpy_token.t list;  (* reversed *)
+}
+
+let col st = st.pos - st.bol
+
+let emit st kind =
+  st.tokens <- { Mpy_token.kind; line = st.line; col = col st } :: st.tokens
+
+let emit_at st kind ~line ~col = st.tokens <- { Mpy_token.kind; line; col } :: st.tokens
+let error st msg = raise (Lex_error (msg, st.line, col st))
+let peek_char st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let newline st =
+  st.line <- st.line + 1;
+  st.pos <- st.pos + 1;
+  st.bol <- st.pos;
+  st.at_line_start <- true
+
+(* Measure the indentation of the line starting at st.pos; returns None if the
+   line is blank or a pure comment (to be skipped entirely). *)
+let rec measure_indent st =
+  let width = ref 0 in
+  let i = ref st.pos in
+  let n = String.length st.input in
+  while
+    !i < n
+    &&
+    match st.input.[!i] with
+    | ' ' ->
+      incr width;
+      true
+    | '\t' ->
+      width := (!width / 8 * 8) + 8;
+      true
+    | _ -> false
+  do
+    incr i
+  done;
+  st.pos <- !i;
+  if !i >= n then None
+  else
+    match st.input.[!i] with
+    | '\n' ->
+      newline st;
+      measure_indent st
+    | '#' ->
+      while st.pos < n && st.input.[st.pos] <> '\n' do
+        st.pos <- st.pos + 1
+      done;
+      if st.pos < n then begin
+        newline st;
+        measure_indent st
+      end
+      else None
+    | _ -> Some !width
+
+let handle_indentation st =
+  match measure_indent st with
+  | None ->
+    (* End of file reached while looking for the next logical line. *)
+    st.at_line_start <- false
+  | Some width ->
+    st.at_line_start <- false;
+    let current = List.hd st.indents in
+    if width > current then begin
+      st.indents <- width :: st.indents;
+      emit st Mpy_token.Indent
+    end
+    else if width < current then begin
+      let rec pop () =
+        match st.indents with
+        | top :: rest when width < top ->
+          st.indents <- rest;
+          emit st Mpy_token.Dedent;
+          pop ()
+        | top :: _ ->
+          if width <> top then error st "inconsistent dedentation"
+        | [] -> error st "inconsistent dedentation"
+      in
+      pop ()
+    end
+
+let lex_string st quote =
+  let start_line = st.line and start_col = col st in
+  let buf = Buffer.create 16 in
+  st.pos <- st.pos + 1;
+  let rec go () =
+    match peek_char st with
+    | None -> raise (Lex_error ("unterminated string literal", start_line, start_col))
+    | Some '\n' -> raise (Lex_error ("unterminated string literal", start_line, start_col))
+    | Some c when c = quote -> st.pos <- st.pos + 1
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek_char st with
+      | Some 'n' ->
+        Buffer.add_char buf '\n';
+        st.pos <- st.pos + 1;
+        go ()
+      | Some 't' ->
+        Buffer.add_char buf '\t';
+        st.pos <- st.pos + 1;
+        go ()
+      | Some c ->
+        Buffer.add_char buf c;
+        st.pos <- st.pos + 1;
+        go ()
+      | None -> raise (Lex_error ("unterminated string literal", start_line, start_col)))
+    | Some c ->
+      Buffer.add_char buf c;
+      st.pos <- st.pos + 1;
+      go ()
+  in
+  go ();
+  emit_at st (Mpy_token.Str_lit (Buffer.contents buf)) ~line:start_line ~col:start_col
+
+let two_char_operators = [ "=="; "!="; "<="; ">="; "//"; "**"; "+="; "-="; "*="; "/=" ]
+
+let tokenize input =
+  (* Normalize CRLF/CR endings once so the layout code only sees '\n'. *)
+  let input = String.concat "" (String.split_on_char '\r' input) in
+  let st =
+    {
+      input;
+      pos = 0;
+      line = 1;
+      bol = 0;
+      indents = [ 0 ];
+      depth = 0;
+      at_line_start = true;
+      tokens = [];
+    }
+  in
+  let n = String.length input in
+  let rec loop () =
+    if st.at_line_start && st.depth = 0 then handle_indentation st;
+    if st.pos >= n then ()
+    else begin
+      (match st.input.[st.pos] with
+      | ' ' | '\t' -> st.pos <- st.pos + 1
+
+      | '\n' ->
+        if st.depth = 0 then begin
+          (* Collapse runs of newlines into one logical Newline token. *)
+          (match st.tokens with
+          | { kind = Newline; _ } :: _ | [] | { kind = Indent; _ } :: _ -> ()
+          | _ -> emit st Mpy_token.Newline);
+          newline st
+        end
+        else newline st
+      | '#' ->
+        while st.pos < n && st.input.[st.pos] <> '\n' do
+          st.pos <- st.pos + 1
+        done
+      | '\'' -> lex_string st '\''
+      | '"' -> lex_string st '"'
+      | '(' ->
+        emit st Mpy_token.Lparen;
+        st.depth <- st.depth + 1;
+        st.pos <- st.pos + 1
+      | ')' ->
+        emit st Mpy_token.Rparen;
+        st.depth <- max 0 (st.depth - 1);
+        st.pos <- st.pos + 1
+      | '[' ->
+        emit st Mpy_token.Lbracket;
+        st.depth <- st.depth + 1;
+        st.pos <- st.pos + 1
+      | ']' ->
+        emit st Mpy_token.Rbracket;
+        st.depth <- max 0 (st.depth - 1);
+        st.pos <- st.pos + 1
+      | ':' ->
+        emit st Mpy_token.Colon;
+        st.pos <- st.pos + 1
+      | ',' ->
+        emit st Mpy_token.Comma;
+        st.pos <- st.pos + 1
+      | '.' ->
+        emit st Mpy_token.Dot;
+        st.pos <- st.pos + 1
+      | '@' ->
+        emit st Mpy_token.At;
+        st.pos <- st.pos + 1
+      | c when is_name_start c ->
+        let start = st.pos in
+        while st.pos < n && is_name_char st.input.[st.pos] do
+          st.pos <- st.pos + 1
+        done;
+        let word = String.sub st.input start (st.pos - start) in
+        let line = st.line and col0 = start - st.bol in
+        let kind =
+          match keyword_of word with
+          | Some kw -> kw
+          | None -> Mpy_token.Name word
+        in
+        emit_at st kind ~line ~col:col0
+      | c when is_digit c ->
+        let start = st.pos in
+        while st.pos < n && is_digit st.input.[st.pos] do
+          st.pos <- st.pos + 1
+        done;
+        let line = st.line and col0 = start - st.bol in
+        emit_at st
+          (Mpy_token.Int_lit (int_of_string (String.sub st.input start (st.pos - start))))
+          ~line ~col:col0
+      | _ -> (
+        let two =
+          if st.pos + 1 < n then Some (String.sub st.input st.pos 2) else None
+        in
+        match two with
+        | Some "->" ->
+          emit st Mpy_token.Arrow;
+          st.pos <- st.pos + 2
+        | Some op when List.mem op two_char_operators ->
+          emit st (Mpy_token.Operator op);
+          st.pos <- st.pos + 2
+        | _ -> (
+          match st.input.[st.pos] with
+          | '=' ->
+            emit st Mpy_token.Assign;
+            st.pos <- st.pos + 1
+          | ('+' | '-' | '*' | '/' | '%' | '<' | '>') as c ->
+            emit st (Mpy_token.Operator (String.make 1 c));
+            st.pos <- st.pos + 1
+          | c -> error st (Printf.sprintf "unexpected character %C" c))));
+      loop ()
+    end
+  in
+  loop ();
+  (* Close the last logical line and all open blocks. *)
+  (match st.tokens with
+  | { kind = Newline; _ } :: _ | [] -> ()
+  | _ -> emit st Mpy_token.Newline);
+  List.iter
+    (fun level -> if level > 0 then emit st Mpy_token.Dedent)
+    (List.filter (fun l -> l > 0) st.indents);
+  emit st Mpy_token.Eof;
+  List.rev st.tokens

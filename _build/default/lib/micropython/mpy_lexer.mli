@@ -1,0 +1,16 @@
+(** Indentation-aware lexer for the MicroPython subset.
+
+    Implements the Python layout algorithm: a stack of indentation columns,
+    one logical [Newline] per non-blank line, [Indent]/[Dedent] tokens on
+    column changes, blank lines and [#] comments skipped, and no layout
+    tokens inside parentheses/brackets (implicit line joining). Tabs count
+    as 8 columns, as in CPython. *)
+
+exception Lex_error of string * int * int
+(** [Lex_error (message, line, col)]. *)
+
+val tokenize : string -> Mpy_token.t list
+(** The token stream, terminated by [Eof] (preceded by enough [Dedent]s to
+    close all open blocks).
+    @raise Lex_error on unexpected characters, unterminated strings, or
+    inconsistent dedentation. *)

@@ -1,0 +1,541 @@
+exception Parse_error of string * int * int
+
+type cursor = { mutable tokens : Mpy_token.t list }
+
+let peek cur =
+  match cur.tokens with
+  | [] -> { Mpy_token.kind = Eof; line = 0; col = 0 }
+  | t :: _ -> t
+
+let peek_kind cur = (peek cur).Mpy_token.kind
+
+let advance cur =
+  match cur.tokens with
+  | [] -> ()
+  | _ :: rest -> cur.tokens <- rest
+
+let fail_at (tok : Mpy_token.t) msg = raise (Parse_error (msg, tok.line, tok.col))
+
+let expect cur kind =
+  let tok = peek cur in
+  if tok.Mpy_token.kind = kind then advance cur
+  else
+    fail_at tok
+      (Printf.sprintf "expected %s but found %s" (Mpy_token.describe kind)
+         (Mpy_token.describe tok.Mpy_token.kind))
+
+let expect_name cur =
+  let tok = peek cur in
+  match tok.Mpy_token.kind with
+  | Name n ->
+    advance cur;
+    n
+  | k -> fail_at tok (Printf.sprintf "expected an identifier but found %s" (Mpy_token.describe k))
+
+let skip_newlines cur =
+  while peek_kind cur = Mpy_token.Newline do
+    advance cur
+  done
+
+(* --- Expressions ----------------------------------------------------------- *)
+
+let rec parse_expr cur = parse_or cur
+
+and parse_or cur =
+  let left = parse_and cur in
+  match peek_kind cur with
+  | Kw_or ->
+    advance cur;
+    Mpy_ast.Binop ("or", left, parse_or cur)
+  | _ -> left
+
+and parse_and cur =
+  let left = parse_not cur in
+  match peek_kind cur with
+  | Kw_and ->
+    advance cur;
+    Mpy_ast.Binop ("and", left, parse_and cur)
+  | _ -> left
+
+and parse_not cur =
+  match peek_kind cur with
+  | Kw_not ->
+    advance cur;
+    Mpy_ast.Unop ("not", parse_not cur)
+  | _ -> parse_comparison cur
+
+and parse_comparison cur =
+  let left = parse_arith cur in
+  match peek_kind cur with
+  | Operator (("==" | "!=" | "<" | ">" | "<=" | ">=") as op) ->
+    advance cur;
+    Mpy_ast.Binop (op, left, parse_arith cur)
+  | Kw_in ->
+    advance cur;
+    Mpy_ast.Binop ("in", left, parse_arith cur)
+  | _ -> left
+
+and parse_arith cur =
+  let left = parse_term cur in
+  let rec continue_ left =
+    match peek_kind cur with
+    | Operator (("+" | "-") as op) ->
+      advance cur;
+      continue_ (Mpy_ast.Binop (op, left, parse_term cur))
+    | _ -> left
+  in
+  continue_ left
+
+and parse_term cur =
+  let left = parse_unary cur in
+  let rec continue_ left =
+    match peek_kind cur with
+    | Operator (("*" | "/" | "//" | "%" | "**") as op) ->
+      advance cur;
+      continue_ (Mpy_ast.Binop (op, left, parse_unary cur))
+    | _ -> left
+  in
+  continue_ left
+
+and parse_unary cur =
+  match peek_kind cur with
+  | Operator (("-" | "+") as op) ->
+    advance cur;
+    Mpy_ast.Unop (op, parse_unary cur)
+  | _ -> parse_postfix cur
+
+and parse_postfix cur =
+  let base = parse_atom cur in
+  let rec continue_ base =
+    match peek_kind cur with
+    | Dot ->
+      advance cur;
+      continue_ (Mpy_ast.Attr (base, expect_name cur))
+    | Lparen ->
+      advance cur;
+      let args = parse_call_args cur in
+      expect cur Rparen;
+      continue_ (Mpy_ast.Call (base, args))
+    | Lbracket ->
+      advance cur;
+      let index = parse_expr cur in
+      expect cur Rbracket;
+      continue_ (Mpy_ast.Subscript (base, index))
+    | _ -> base
+  in
+  continue_ base
+
+and parse_call_args cur =
+  if peek_kind cur = Rparen then []
+  else
+    let rec go acc =
+      let arg = parse_expr cur in
+      match peek_kind cur with
+      | Comma ->
+        advance cur;
+        if peek_kind cur = Rparen then List.rev (arg :: acc) else go (arg :: acc)
+      | _ -> List.rev (arg :: acc)
+    in
+    go []
+
+and parse_atom cur =
+  let tok = peek cur in
+  match tok.Mpy_token.kind with
+  | Name n ->
+    advance cur;
+    Mpy_ast.Name n
+  | Int_lit n ->
+    advance cur;
+    Mpy_ast.Int n
+  | Str_lit s ->
+    advance cur;
+    Mpy_ast.Str s
+  | Kw_true ->
+    advance cur;
+    Mpy_ast.Bool true
+  | Kw_false ->
+    advance cur;
+    Mpy_ast.Bool false
+  | Kw_none ->
+    advance cur;
+    Mpy_ast.None_lit
+  | Lparen ->
+    advance cur;
+    let first = parse_expr cur in
+    let rec tuple acc =
+      match peek_kind cur with
+      | Comma ->
+        advance cur;
+        if peek_kind cur = Rparen then List.rev acc else tuple (parse_expr cur :: acc)
+      | _ -> List.rev acc
+    in
+    let items = tuple [ first ] in
+    expect cur Rparen;
+    (match items with
+    | [ single ] -> single
+    | several -> Mpy_ast.Tuple several)
+  | Lbracket ->
+    advance cur;
+    let rec items acc =
+      if peek_kind cur = Rbracket then List.rev acc
+      else
+        let item = parse_expr cur in
+        match peek_kind cur with
+        | Comma ->
+          advance cur;
+          items (item :: acc)
+        | _ -> List.rev (item :: acc)
+    in
+    let elems = items [] in
+    expect cur Rbracket;
+    Mpy_ast.List elems
+  | k -> fail_at tok (Printf.sprintf "expected an expression but found %s" (Mpy_token.describe k))
+
+(* Top level of an expression statement / return value: a comma builds a tuple. *)
+let parse_expr_tuple cur =
+  let first = parse_expr cur in
+  let rec go acc =
+    match peek_kind cur with
+    | Comma ->
+      advance cur;
+      go (parse_expr cur :: acc)
+    | _ -> List.rev acc
+  in
+  match go [ first ] with
+  | [ single ] -> single
+  | several -> Mpy_ast.Tuple several
+
+(* --- Statements -------------------------------------------------------------- *)
+
+let rec parse_block cur =
+  (* ':' already consumed. *)
+  expect cur Newline;
+  expect cur Indent;
+  let rec go acc =
+    skip_newlines cur;
+    match peek_kind cur with
+    | Dedent ->
+      advance cur;
+      List.rev acc
+    | Eof -> List.rev acc
+    | _ -> go (parse_stmt cur :: acc)
+  in
+  let body = go [] in
+  if body = [] then fail_at (peek cur) "empty block";
+  body
+
+and parse_stmt cur : Mpy_ast.stmt =
+  let tok = peek cur in
+  let line = tok.Mpy_token.line in
+  let mk stmt = { Mpy_ast.stmt; stmt_line = line } in
+  match tok.Mpy_token.kind with
+  | Kw_pass ->
+    advance cur;
+    expect cur Newline;
+    mk Mpy_ast.Pass
+  | Kw_break ->
+    advance cur;
+    expect cur Newline;
+    mk Mpy_ast.Break
+  | Kw_continue ->
+    advance cur;
+    expect cur Newline;
+    mk Mpy_ast.Continue
+  | Kw_import | Kw_from ->
+    (* Skip the rest of the line. *)
+    while peek_kind cur <> Mpy_token.Newline && peek_kind cur <> Mpy_token.Eof do
+      advance cur
+    done;
+    expect cur Newline;
+    mk Mpy_ast.Import
+  | Kw_return ->
+    advance cur;
+    if peek_kind cur = Mpy_token.Newline then begin
+      advance cur;
+      mk (Mpy_ast.Return None)
+    end
+    else begin
+      let value = parse_expr_tuple cur in
+      expect cur Newline;
+      mk (Mpy_ast.Return (Some value))
+    end
+  | Kw_if ->
+    advance cur;
+    let cond = parse_expr cur in
+    expect cur Colon;
+    let body = parse_block cur in
+    let rec elifs acc =
+      match peek_kind cur with
+      | Kw_elif ->
+        advance cur;
+        let cond = parse_expr cur in
+        expect cur Colon;
+        let body = parse_block cur in
+        elifs ((cond, body) :: acc)
+      | _ -> List.rev acc
+    in
+    let branches = (cond, body) :: elifs [] in
+    let else_block =
+      match peek_kind cur with
+      | Kw_else ->
+        advance cur;
+        expect cur Colon;
+        Some (parse_block cur)
+      | _ -> None
+    in
+    mk (Mpy_ast.If (branches, else_block))
+  | Kw_while ->
+    advance cur;
+    let cond = parse_expr cur in
+    expect cur Colon;
+    mk (Mpy_ast.While (cond, parse_block cur))
+  | Kw_for ->
+    advance cur;
+    let var = expect_name cur in
+    expect cur Kw_in;
+    let iter = parse_expr cur in
+    expect cur Colon;
+    mk (Mpy_ast.For (var, iter, parse_block cur))
+  | Kw_match ->
+    advance cur;
+    let scrutinee = parse_expr cur in
+    expect cur Colon;
+    expect cur Newline;
+    expect cur Indent;
+    let rec cases acc =
+      skip_newlines cur;
+      match peek_kind cur with
+      | Kw_case ->
+        advance cur;
+        let pat = parse_pattern cur in
+        expect cur Colon;
+        let body = parse_block cur in
+        cases ((pat, body) :: acc)
+      | Dedent ->
+        advance cur;
+        List.rev acc
+      | k -> fail_at (peek cur) (Printf.sprintf "expected 'case' but found %s" (Mpy_token.describe k))
+    in
+    let case_list = cases [] in
+    if case_list = [] then fail_at tok "match statement with no cases";
+    mk (Mpy_ast.Match (scrutinee, case_list))
+  | Kw_def -> fail_at tok "nested function definitions are outside the analyzed subset"
+  | Kw_class -> fail_at tok "nested classes are outside the analyzed subset"
+  | _ ->
+    let target = parse_expr_tuple cur in
+    (match peek_kind cur with
+    | Assign ->
+      advance cur;
+      let value = parse_expr_tuple cur in
+      expect cur Newline;
+      mk (Mpy_ast.Assign (target, value))
+    | Operator (("+=" | "-=" | "*=" | "/=") as op) ->
+      advance cur;
+      let value = parse_expr_tuple cur in
+      expect cur Newline;
+      (* Desugar augmented assignment: the analysis only cares about calls. *)
+      mk (Mpy_ast.Assign (target, Mpy_ast.Binop (String.sub op 0 1, target, value)))
+    | _ ->
+      expect cur Newline;
+      mk (Mpy_ast.Expr_stmt target))
+
+and parse_pattern cur =
+  let tok = peek cur in
+  match tok.Mpy_token.kind with
+  | Name "_" ->
+    advance cur;
+    Mpy_ast.Pat_wildcard
+  | Name n ->
+    advance cur;
+    Mpy_ast.Pat_capture n
+  | Lbracket ->
+    advance cur;
+    let rec strings acc =
+      if peek_kind cur = Rbracket then List.rev acc
+      else
+        match peek_kind cur with
+        | Str_lit s ->
+          advance cur;
+          (match peek_kind cur with
+          | Comma ->
+            advance cur;
+            strings (s :: acc)
+          | _ -> List.rev (s :: acc))
+        | k ->
+          fail_at (peek cur)
+            (Printf.sprintf "expected a string in list pattern but found %s"
+               (Mpy_token.describe k))
+    in
+    let names = strings [] in
+    expect cur Rbracket;
+    Mpy_ast.Pat_list names
+  | Int_lit _ | Str_lit _ | Kw_true | Kw_false | Kw_none ->
+    Mpy_ast.Pat_literal (parse_atom cur)
+  | k -> fail_at tok (Printf.sprintf "expected a pattern but found %s" (Mpy_token.describe k))
+
+(* --- Declarations -------------------------------------------------------------- *)
+
+let parse_decorator cur : Mpy_ast.decorator =
+  let tok = peek cur in
+  expect cur At;
+  let name = expect_name cur in
+  let args =
+    match peek_kind cur with
+    | Lparen ->
+      advance cur;
+      let args = parse_call_args cur in
+      expect cur Rparen;
+      args
+    | _ -> []
+  in
+  expect cur Newline;
+  { Mpy_ast.dec_name = name; dec_args = args; dec_line = tok.Mpy_token.line }
+
+let rec parse_decorators cur acc =
+  if peek_kind cur = Mpy_token.At then parse_decorators cur (parse_decorator cur :: acc)
+  else List.rev acc
+
+let parse_params cur =
+  expect cur Lparen;
+  let rec go acc =
+    match peek_kind cur with
+    | Rparen ->
+      advance cur;
+      List.rev acc
+    | Name n -> (
+      advance cur;
+      (* Skip an optional annotation. *)
+      (match peek_kind cur with
+      | Colon ->
+        advance cur;
+        ignore (parse_expr cur)
+      | _ -> ());
+      match peek_kind cur with
+      | Comma ->
+        advance cur;
+        go (n :: acc)
+      | _ -> go (n :: acc))
+    | k ->
+      fail_at (peek cur)
+        (Printf.sprintf "expected a parameter name but found %s" (Mpy_token.describe k))
+  in
+  go []
+
+let parse_method cur : Mpy_ast.method_def =
+  let decorators = parse_decorators cur [] in
+  let tok = peek cur in
+  expect cur Kw_def;
+  let name = expect_name cur in
+  let params = parse_params cur in
+  (* Skip an optional return annotation. *)
+  (match peek_kind cur with
+  | Arrow ->
+    advance cur;
+    ignore (parse_expr cur)
+  | _ -> ());
+  expect cur Colon;
+  let body = parse_block cur in
+  {
+    Mpy_ast.meth_name = name;
+    meth_params = params;
+    meth_decorators = decorators;
+    meth_body = body;
+    meth_line = tok.Mpy_token.line;
+  }
+
+let parse_class_def cur decorators : Mpy_ast.class_def =
+  let tok = peek cur in
+  expect cur Kw_class;
+  let name = expect_name cur in
+  let bases =
+    match peek_kind cur with
+    | Lparen ->
+      advance cur;
+      let rec go acc =
+        match peek_kind cur with
+        | Rparen ->
+          advance cur;
+          List.rev acc
+        | Name n -> (
+          advance cur;
+          match peek_kind cur with
+          | Comma ->
+            advance cur;
+            go (n :: acc)
+          | _ -> go (n :: acc))
+        | k ->
+          fail_at (peek cur)
+            (Printf.sprintf "expected a base class name but found %s" (Mpy_token.describe k))
+      in
+      go []
+    | _ -> []
+  in
+  expect cur Colon;
+  expect cur Newline;
+  expect cur Indent;
+  let rec members acc =
+    skip_newlines cur;
+    match peek_kind cur with
+    | Dedent ->
+      advance cur;
+      List.rev acc
+    | Eof -> List.rev acc
+    | At | Kw_def -> members (parse_method cur :: acc)
+    | Kw_pass ->
+      advance cur;
+      expect cur Newline;
+      members acc
+    | k ->
+      fail_at (peek cur)
+        (Printf.sprintf "expected a method definition but found %s" (Mpy_token.describe k))
+  in
+  let methods = members [] in
+  {
+    Mpy_ast.cls_name = name;
+    cls_bases = bases;
+    cls_decorators = decorators;
+    cls_methods = methods;
+    cls_line = tok.Mpy_token.line;
+  }
+
+let parse_program source =
+  let cur = { tokens = Mpy_lexer.tokenize source } in
+  let classes = ref [] in
+  let toplevel = ref [] in
+  let rec go () =
+    skip_newlines cur;
+    match peek_kind cur with
+    | Eof -> ()
+    | At | Kw_class -> (
+      let decorators = parse_decorators cur [] in
+      match peek_kind cur with
+      | Kw_class ->
+        classes := parse_class_def cur decorators :: !classes;
+        go ()
+      | Kw_def -> fail_at (peek cur) "top-level functions are outside the analyzed subset"
+      | k ->
+        fail_at (peek cur)
+          (Printf.sprintf "expected a class after decorators but found %s"
+             (Mpy_token.describe k)))
+    | _ ->
+      toplevel := parse_stmt cur :: !toplevel;
+      go ()
+  in
+  go ();
+  { Mpy_ast.prog_classes = List.rev !classes; prog_toplevel = List.rev !toplevel }
+
+let parse_class source =
+  match (parse_program source).Mpy_ast.prog_classes with
+  | [ cls ] -> cls
+  | classes ->
+    raise
+      (Parse_error
+         (Printf.sprintf "expected exactly one class definition, found %d" (List.length classes), 1, 0))
+
+let parse_expression source =
+  let cur = { tokens = Mpy_lexer.tokenize source } in
+  skip_newlines cur;
+  let e = parse_expr_tuple cur in
+  skip_newlines cur;
+  expect cur Eof;
+  e

@@ -1,0 +1,22 @@
+(** Recursive-descent parser for the MicroPython subset.
+
+    Consumes the layout-token stream of {!Mpy_lexer} and produces
+    {!Mpy_ast.program}. Anything the analysis does not model but Python
+    allows in the subset's positions (arbitrary expressions, annotations,
+    imports) is parsed and retained or explicitly erased; constructs outside
+    the subset (nested [def], [try], [lambda], …) are parse errors with
+    positions. *)
+
+exception Parse_error of string * int * int
+(** [(message, line, col)] *)
+
+val parse_program : string -> Mpy_ast.program
+(** @raise Parse_error on syntax errors.
+    @raise Mpy_lexer.Lex_error on lexical errors. *)
+
+val parse_class : string -> Mpy_ast.class_def
+(** Convenience: parse a source expected to contain exactly one class.
+    @raise Parse_error if there is not exactly one class definition. *)
+
+val parse_expression : string -> Mpy_ast.expr
+(** Parse a single expression (used by tests and the Table 2 bench). *)

@@ -1,0 +1,200 @@
+(* Precedence levels mirror Mpy_parser: or=1, and=2, not=3, comparison=4,
+   additive=5, multiplicative=6, unary=7, postfix/atom=8. A node is
+   parenthesized when printed in a context tighter than its own level. *)
+
+let level_of_binop = function
+  | "or" -> 1
+  | "and" -> 2
+  | "==" | "!=" | "<" | ">" | "<=" | ">=" | "in" -> 4
+  | "+" | "-" -> 5
+  | _ -> 6 (* "*", "/", "//", "%", "**" *)
+
+let rec expr_prec (e : Mpy_ast.expr) =
+  match e with
+  | Binop (op, _, _) -> level_of_binop op
+  | Unop ("not", _) -> 3
+  | Unop (_, _) -> 7
+  | Tuple _ -> 0
+  | Name _ | Attr _ | Call _ | Str _ | Int _ | Bool _ | None_lit | List _ | Subscript _ -> 8
+
+and print_at prec (e : Mpy_ast.expr) =
+  let body =
+    match e with
+    | Name n -> n
+    | Attr (base, field) -> print_at 8 base ^ "." ^ field
+    | Call (target, args) ->
+      print_at 8 target ^ "(" ^ String.concat ", " (List.map (print_at 1) args) ^ ")"
+    | Str s -> Printf.sprintf "%S" s
+    | Int n -> string_of_int n
+    | Bool true -> "True"
+    | Bool false -> "False"
+    | None_lit -> "None"
+    | List items -> "[" ^ String.concat ", " (List.map (print_at 1) items) ^ "]"
+    | Tuple items -> String.concat ", " (List.map (print_at 1) items)
+    | Subscript (base, index) -> print_at 8 base ^ "[" ^ print_at 1 index ^ "]"
+    | Unop ("not", operand) -> "not " ^ print_at 3 operand
+    | Unop (op, operand) -> op ^ print_at 7 operand
+    | Binop (op, left, right) ->
+      let my = level_of_binop op in
+      let sep = if op = "or" || op = "and" || op = "in" then " " ^ op ^ " " else " " ^ op ^ " " in
+      (* or/and are parsed right-recursively, arithmetic left-recursively;
+         printing left at my+1 / right at my (or vice versa) keeps the parse
+         shape. *)
+      (match op with
+      | "or" | "and" -> print_at (my + 1) left ^ sep ^ print_at my right
+      | _ -> print_at my left ^ sep ^ print_at (my + 1) right)
+  in
+  if expr_prec e < prec then "(" ^ body ^ ")" else body
+
+let print_expr e = print_at 0 e
+
+let pad indent = String.make (4 * indent) ' '
+
+let print_pattern (p : Mpy_ast.pattern) =
+  match p with
+  | Pat_list names -> "[" ^ String.concat ", " (List.map (Printf.sprintf "%S") names) ^ "]"
+  | Pat_wildcard -> "_"
+  | Pat_capture n -> n
+  | Pat_literal e -> print_expr e
+
+let rec print_stmt ?(indent = 0) (s : Mpy_ast.stmt) =
+  let line text = pad indent ^ text ^ "\n" in
+  match s.stmt with
+  | Expr_stmt e -> line (print_expr e)
+  | Assign (target, value) -> line (print_expr target ^ " = " ^ print_expr value)
+  | Return None -> line "return"
+  | Return (Some e) -> line ("return " ^ print_expr e)
+  | Pass -> line "pass"
+  | Break -> line "break"
+  | Continue -> line "continue"
+  | Import -> line "import machine"
+  | While (cond, body) -> line ("while " ^ print_expr cond ^ ":") ^ print_block ~indent body
+  | For (var, iter, body) ->
+    line ("for " ^ var ^ " in " ^ print_expr iter ^ ":") ^ print_block ~indent body
+  | If (branches, else_block) ->
+    let chains =
+      List.mapi
+        (fun i (cond, body) ->
+          line ((if i = 0 then "if " else "elif ") ^ print_expr cond ^ ":")
+          ^ print_block ~indent body)
+        branches
+    in
+    let else_part =
+      match else_block with
+      | None -> ""
+      | Some body -> line "else:" ^ print_block ~indent body
+    in
+    String.concat "" chains ^ else_part
+  | Match (scrutinee, cases) ->
+    line ("match " ^ print_expr scrutinee ^ ":")
+    ^ String.concat ""
+        (List.map
+           (fun (pat, body) ->
+             pad (indent + 1) ^ "case " ^ print_pattern pat ^ ":\n"
+             ^ print_block ~indent:(indent + 1) body)
+           cases)
+
+and print_block ~indent body =
+  String.concat "" (List.map (print_stmt ~indent:(indent + 1)) body)
+
+let print_decorator indent (d : Mpy_ast.decorator) =
+  pad indent ^ "@" ^ d.dec_name
+  ^ (match d.dec_args with
+    | [] -> ""
+    | args -> "(" ^ String.concat ", " (List.map print_expr args) ^ ")")
+  ^ "\n"
+
+let print_method ?(indent = 0) (m : Mpy_ast.method_def) =
+  String.concat "" (List.map (print_decorator indent) m.meth_decorators)
+  ^ pad indent
+  ^ Printf.sprintf "def %s(%s):\n" m.meth_name (String.concat ", " m.meth_params)
+  ^ print_block ~indent m.meth_body
+
+let print_class (c : Mpy_ast.class_def) =
+  String.concat "" (List.map (print_decorator 0) c.cls_decorators)
+  ^ Printf.sprintf "class %s%s:\n" c.cls_name
+      (match c.cls_bases with
+      | [] -> ""
+      | bases -> "(" ^ String.concat ", " bases ^ ")")
+  ^ String.concat "\n" (List.map (print_method ~indent:1) c.cls_methods)
+
+let print_program (p : Mpy_ast.program) =
+  String.concat "\n" (List.map print_class p.prog_classes)
+  ^ (if p.prog_classes <> [] && p.prog_toplevel <> [] then "\n" else "")
+  ^ String.concat "" (List.map (print_stmt ~indent:0) p.prog_toplevel)
+
+(* --- Position-independent equality -------------------------------------------- *)
+
+let rec equal_expr (a : Mpy_ast.expr) (b : Mpy_ast.expr) =
+  match a, b with
+  | Name x, Name y -> String.equal x y
+  | Attr (e1, f1), Attr (e2, f2) -> String.equal f1 f2 && equal_expr e1 e2
+  | Call (f1, args1), Call (f2, args2) ->
+    equal_expr f1 f2 && List.equal equal_expr args1 args2
+  | Str x, Str y -> String.equal x y
+  | Int x, Int y -> Int.equal x y
+  | Bool x, Bool y -> Bool.equal x y
+  | None_lit, None_lit -> true
+  | List xs, List ys | Tuple xs, Tuple ys -> List.equal equal_expr xs ys
+  | Binop (o1, l1, r1), Binop (o2, l2, r2) ->
+    String.equal o1 o2 && equal_expr l1 l2 && equal_expr r1 r2
+  | Unop (o1, e1), Unop (o2, e2) -> String.equal o1 o2 && equal_expr e1 e2
+  | Subscript (e1, i1), Subscript (e2, i2) -> equal_expr e1 e2 && equal_expr i1 i2
+  | ( ( Name _ | Attr _ | Call _ | Str _ | Int _ | Bool _ | None_lit | List _ | Tuple _
+      | Binop _ | Unop _ | Subscript _ ),
+      _ ) ->
+    false
+
+let equal_pattern (a : Mpy_ast.pattern) (b : Mpy_ast.pattern) =
+  match a, b with
+  | Pat_list xs, Pat_list ys -> List.equal String.equal xs ys
+  | Pat_wildcard, Pat_wildcard -> true
+  | Pat_capture x, Pat_capture y -> String.equal x y
+  | Pat_literal x, Pat_literal y -> equal_expr x y
+  | (Pat_list _ | Pat_wildcard | Pat_capture _ | Pat_literal _), _ -> false
+
+let rec equal_stmt (a : Mpy_ast.stmt) (b : Mpy_ast.stmt) =
+  match a.stmt, b.stmt with
+  | Expr_stmt x, Expr_stmt y -> equal_expr x y
+  | Assign (t1, v1), Assign (t2, v2) -> equal_expr t1 t2 && equal_expr v1 v2
+  | Return None, Return None -> true
+  | Return (Some x), Return (Some y) -> equal_expr x y
+  | If (br1, e1), If (br2, e2) ->
+    List.equal
+      (fun (c1, b1) (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2)
+      br1 br2
+    && Option.equal equal_block e1 e2
+  | While (c1, b1), While (c2, b2) -> equal_expr c1 c2 && equal_block b1 b2
+  | For (v1, i1, b1), For (v2, i2, b2) ->
+    String.equal v1 v2 && equal_expr i1 i2 && equal_block b1 b2
+  | Match (s1, cs1), Match (s2, cs2) ->
+    equal_expr s1 s2
+    && List.equal
+         (fun (p1, b1) (p2, b2) -> equal_pattern p1 p2 && equal_block b1 b2)
+         cs1 cs2
+  | Pass, Pass | Break, Break | Continue, Continue | Import, Import -> true
+  | ( ( Expr_stmt _ | Assign _ | Return _ | If _ | While _ | For _ | Match _ | Pass | Break
+      | Continue | Import ),
+      _ ) ->
+    false
+
+and equal_block a b = List.equal equal_stmt a b
+
+let equal_decorator (a : Mpy_ast.decorator) (b : Mpy_ast.decorator) =
+  String.equal a.dec_name b.dec_name && List.equal equal_expr a.dec_args b.dec_args
+
+let equal_method (a : Mpy_ast.method_def) (b : Mpy_ast.method_def) =
+  String.equal a.meth_name b.meth_name
+  && List.equal String.equal a.meth_params b.meth_params
+  && List.equal equal_decorator a.meth_decorators b.meth_decorators
+  && equal_block a.meth_body b.meth_body
+
+let equal_class (a : Mpy_ast.class_def) (b : Mpy_ast.class_def) =
+  String.equal a.cls_name b.cls_name
+  && List.equal String.equal a.cls_bases b.cls_bases
+  && List.equal equal_decorator a.cls_decorators b.cls_decorators
+  && List.equal equal_method a.cls_methods b.cls_methods
+
+let equal_program (a : Mpy_ast.program) (b : Mpy_ast.program) =
+  List.equal equal_class a.prog_classes b.prog_classes
+  && List.equal equal_stmt a.prog_toplevel b.prog_toplevel

@@ -1,0 +1,22 @@
+(** Source-level pretty-printing of the MicroPython AST.
+
+    [print_program] re-emits parseable MicroPython: parsing the output gives
+    an AST equal (up to positions) to the input — a property the test-suite
+    checks on every sample and on random programs. Useful to normalize
+    sources, splice generated classes into files, and debug the lowering. *)
+
+val print_expr : Mpy_ast.expr -> string
+val print_stmt : ?indent:int -> Mpy_ast.stmt -> string
+val print_method : ?indent:int -> Mpy_ast.method_def -> string
+val print_class : Mpy_ast.class_def -> string
+val print_program : Mpy_ast.program -> string
+
+(** {1 Position-independent equality}
+
+    Structural equality that ignores the [*_line] position fields — the right
+    notion for print/parse round-trips. *)
+
+val equal_expr : Mpy_ast.expr -> Mpy_ast.expr -> bool
+val equal_stmt : Mpy_ast.stmt -> Mpy_ast.stmt -> bool
+val equal_class : Mpy_ast.class_def -> Mpy_ast.class_def -> bool
+val equal_program : Mpy_ast.program -> Mpy_ast.program -> bool

@@ -1,0 +1,37 @@
+(** Translation of Shelley automata and claims to NuSMV.
+
+    The Shelley of the paper "delegates the actual model checking to NuSMV,
+    by implementing a translation from a nondeterministic finite automaton
+    (NFA) into a NuSMV model" (§5). Our pipeline checks natively, but this
+    module provides that translation so the emitted models can be fed to an
+    external NuSMV for cross-validation.
+
+    Encoding: finite traces over an ω-engine, the standard trick the paper
+    alludes to — one [event] input variable ranged over the alphabet plus a
+    distinguished [_end] event, a [state] variable ranged over automaton
+    state *sets* is avoided by first determinizing, and an LTLSPEC of shape
+    [G (state = accepting-sink-detection)]. Acceptance of the finite word
+    [w] corresponds to the DFA state after [w] being accepting when the
+    first [_end] is read; claims φ become [LTLSPEC] over the same event
+    variable. *)
+
+val module_of_dfa : name:string -> Dfa.t -> string
+(** A NuSMV [MODULE main] whose [event] variable ranges over the DFA
+    alphabet plus [_end]; the boolean [accept] holds exactly when the run so
+    far is accepted. Includes an [INVARSPEC] template marker comment. *)
+
+val module_of_nfa : name:string -> Nfa.t -> string
+(** Determinizes first, then {!module_of_dfa}. *)
+
+val ltlspec_of_claim : Ltlf.t -> string
+(** The LTLf claim compiled as a NuSMV [LTLSPEC] line over the [event]
+    variable, using the standard finite-trace embedding: the formula is
+    rewritten over the alive-prefix (before the first [_end]). *)
+
+val model_of_class : Model.t -> string
+(** Full NuSMV file for a composite class: the expanded automaton module and
+    one LTLSPEC per claim. *)
+
+val sanitize : string -> string
+(** Make an event name a valid NuSMV identifier (dots become [__]).
+    Exposed for tests. *)

@@ -1,0 +1,1 @@
+lib/regex/deriv.ml: List Option Queue Regex Set Symbol

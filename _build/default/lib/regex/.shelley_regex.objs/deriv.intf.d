@@ -1,0 +1,1 @@
+lib/regex/deriv.mli: Regex Symbol Trace

@@ -1,0 +1,1 @@
+lib/regex/enumerate.ml: Deriv List Regex Symbol Trace

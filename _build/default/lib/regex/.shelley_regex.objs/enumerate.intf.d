@@ -1,0 +1,1 @@
+lib/regex/enumerate.mli: Regex Symbol Trace

@@ -1,0 +1,1 @@
+lib/regex/equiv.ml: Deriv List Option Queue Regex Set Symbol

@@ -1,0 +1,1 @@
+lib/regex/equiv.mli: Regex Trace

@@ -1,0 +1,1 @@
+lib/regex/regex.ml: Format Int List Symbol

@@ -1,0 +1,67 @@
+let rec deriv a (r : Regex.t) : Regex.t =
+  match r with
+  | Empty | Eps -> Regex.empty
+  | Sym b -> if Symbol.equal a b then Regex.eps else Regex.empty
+  | Seq (r1, r2) ->
+    let left = Regex.seq (deriv a r1) r2 in
+    if Regex.nullable r1 then Regex.alt left (deriv a r2) else left
+  | Alt (r1, r2) -> Regex.alt (deriv a r1) (deriv a r2)
+  | Star r1 -> Regex.seq (deriv a r1) (Regex.star r1)
+
+let deriv_word l r = List.fold_left (fun r a -> deriv a r) r l
+
+let matches r l = Regex.nullable (deriv_word l r)
+
+module Rset = Set.Make (struct
+  type t = Regex.t
+
+  let compare = Regex.compare
+end)
+
+(* Breadth-first over the derivative automaton; [f] sees each new state with
+   the reversed trace that reaches it and may stop the search early. *)
+let bfs r ~(visit : Regex.t -> Symbol.t list -> [ `Stop | `Continue ]) =
+  let alphabet = Symbol.Set.elements (Regex.alphabet r) in
+  let seen = ref Rset.empty in
+  let queue = Queue.create () in
+  let push state rev_path =
+    if not (Rset.mem state !seen) then begin
+      seen := Rset.add state !seen;
+      Queue.add (state, rev_path) queue
+    end
+  in
+  push r [];
+  let rec loop () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some (state, rev_path) -> (
+      match visit state rev_path with
+      | `Stop -> ()
+      | `Continue ->
+        List.iter
+          (fun a ->
+            let next = deriv a state in
+            if not (Regex.is_empty_syntactic next) then push next (a :: rev_path))
+          alphabet;
+        loop ())
+  in
+  loop ()
+
+let shortest_member r =
+  let found = ref None in
+  bfs r ~visit:(fun state rev_path ->
+      if Regex.nullable state then begin
+        found := Some (List.rev rev_path);
+        `Stop
+      end
+      else `Continue);
+  !found
+
+let is_empty_language r = Option.is_none (shortest_member r)
+
+let derivative_closure r =
+  let states = ref [] in
+  bfs r ~visit:(fun state _ ->
+      states := state :: !states;
+      `Continue);
+  List.rev !states

@@ -1,0 +1,29 @@
+(** Brzozowski derivatives.
+
+    [deriv a r] denotes the language [{ l | a·l ∈ r }]. Because {!Regex}'s
+    smart constructors keep expressions in ACI-normal form, repeated
+    derivation reaches only finitely many distinct expressions, which makes
+    the derivative automaton (and hence matching, emptiness and equivalence
+    checking) terminate. *)
+
+val deriv : Symbol.t -> Regex.t -> Regex.t
+(** One-symbol derivative. *)
+
+val deriv_word : Trace.t -> Regex.t -> Regex.t
+(** Derivative by a whole trace, left to right. *)
+
+val matches : Regex.t -> Trace.t -> bool
+(** [matches r l] decides [l ∈ L(r)] by derivation: the derivative by [l]
+    must be nullable. *)
+
+val is_empty_language : Regex.t -> bool
+(** Semantic emptiness: no trace at all is accepted. Decided by exploring the
+    derivative automaton. *)
+
+val shortest_member : Regex.t -> Trace.t option
+(** A length-lexicographically minimal member of the language, if any —
+    found by breadth-first search over derivatives. *)
+
+val derivative_closure : Regex.t -> Regex.t list
+(** All distinct expressions reachable from [r] by repeated derivation over
+    [r]'s own alphabet (the states of the derivative automaton, [r] first). *)

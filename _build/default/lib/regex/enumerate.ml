@@ -1,0 +1,19 @@
+let words_upto_over ~alphabet ~max_len r =
+  let symbols = Symbol.Set.elements alphabet in
+  let acc = ref Trace.Set.empty in
+  (* Depth-bounded expansion of the derivative tree: at depth d the reversed
+     prefix has length d; a nullable derivative contributes the prefix. *)
+  let rec go state rev_prefix depth =
+    if Regex.nullable state then acc := Trace.Set.add (List.rev rev_prefix) !acc;
+    if depth < max_len then
+      List.iter
+        (fun a ->
+          let next = Deriv.deriv a state in
+          if not (Regex.is_empty_syntactic next) then go next (a :: rev_prefix) (depth + 1))
+        symbols
+  in
+  go r [] 0;
+  !acc
+
+let words_upto ~max_len r = words_upto_over ~alphabet:(Regex.alphabet r) ~max_len r
+let count_upto ~max_len r = Trace.Set.cardinal (words_upto ~max_len r)

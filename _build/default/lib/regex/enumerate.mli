@@ -1,0 +1,19 @@
+(** Bounded language enumeration.
+
+    The test oracle for the paper's Theorems 1 and 2 compares the *bounded*
+    language of an inferred regex with the trace set produced by the
+    semantics; this module produces the former. *)
+
+val words_upto : max_len:int -> Regex.t -> Trace.Set.t
+(** All members of [L(r)] of length at most [max_len], enumerated by
+    expanding derivatives over the expression's alphabet. *)
+
+val words_upto_over : alphabet:Symbol.Set.t -> max_len:int -> Regex.t -> Trace.Set.t
+(** Same, but trying the symbols of an explicitly supplied alphabet
+    (useful when comparing languages of two expressions with different
+    alphabets). Symbols outside [r]'s own alphabet can never occur in a
+    member, so supplying a superset alphabet is sound. *)
+
+val count_upto : max_len:int -> Regex.t -> int
+(** [Trace.Set.cardinal (words_upto ~max_len r)], without materializing the
+    intermediate list. *)

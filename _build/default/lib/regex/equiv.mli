@@ -1,0 +1,19 @@
+(** Language equivalence and inclusion of regular expressions, decided by
+    bisimulation on Brzozowski derivatives (Hopcroft–Karp style union-find is
+    unnecessary at our sizes; a visited-pair set suffices).
+
+    These checks back the correctness test-suite (e.g. that automata
+    round-trips preserve languages) and the ablation benchmarks. *)
+
+val equivalent : Regex.t -> Regex.t -> bool
+(** [equivalent r1 r2] iff [L(r1) = L(r2)]. *)
+
+val included : Regex.t -> Regex.t -> bool
+(** [included r1 r2] iff [L(r1) ⊆ L(r2)]. *)
+
+val counterexample : Regex.t -> Regex.t -> Trace.t option
+(** A shortest trace in exactly one of the two languages, if the expressions
+    are not equivalent. *)
+
+val inclusion_counterexample : Regex.t -> Regex.t -> Trace.t option
+(** A shortest trace in [L(r1) \ L(r2)], if inclusion fails. *)

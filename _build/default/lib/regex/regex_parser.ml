@@ -1,0 +1,167 @@
+exception Parse_error of string
+
+type token =
+  | Event of string
+  | Eps
+  | Empty
+  | Plus
+  | Dot  (** explicit concatenation *)
+  | Star
+  | Lparen
+  | Rparen
+  | Eof
+
+let describe = function
+  | Event s -> Printf.sprintf "event %S" s
+  | Eps -> "'\xce\xb5'"
+  | Empty -> "'\xe2\x88\x85'"
+  | Plus -> "'+'"
+  | Dot -> "'\xc2\xb7'"
+  | Star -> "'*'"
+  | Lparen -> "'('"
+  | Rparen -> "')'"
+  | Eof -> "end of input"
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.' || c = '%' || c = ':'
+
+let eps_utf8 = "\xce\xb5"
+let empty_utf8 = "\xe2\x88\x85"
+let middot_utf8 = "\xc2\xb7"
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let rec go i =
+    if i >= n then tokens := Eof :: !tokens
+    else if i + 2 <= n && String.sub input i 2 = eps_utf8 then begin
+      tokens := Eps :: !tokens;
+      go (i + 2)
+    end
+    else if i + 2 <= n && String.sub input i 2 = middot_utf8 then begin
+      tokens := Dot :: !tokens;
+      go (i + 2)
+    end
+    else if i + 3 <= n && String.sub input i 3 = empty_utf8 then begin
+      tokens := Empty :: !tokens;
+      go (i + 3)
+    end
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '+' ->
+        tokens := Plus :: !tokens;
+        go (i + 1)
+      | '*' ->
+        tokens := Star :: !tokens;
+        go (i + 1)
+      | '(' ->
+        tokens := Lparen :: !tokens;
+        go (i + 1)
+      | ')' ->
+        tokens := Rparen :: !tokens;
+        go (i + 1)
+      | c when is_ident_char c ->
+        let j = ref i in
+        while !j < n && is_ident_char input.[!j] do
+          incr j
+        done;
+        let word = String.sub input i (!j - i) in
+        let token =
+          match word with
+          | "eps" | "1" -> Eps
+          | "empty" | "0" -> Empty
+          | _ -> Event word
+        in
+        tokens := token :: !tokens;
+        go !j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+  in
+  go 0;
+  List.rev !tokens
+
+type cursor = { mutable tokens : token list }
+
+let peek cur =
+  match cur.tokens with
+  | [] -> Eof
+  | t :: _ -> t
+
+let advance cur =
+  match cur.tokens with
+  | [] -> ()
+  | _ :: rest -> cur.tokens <- rest
+
+let expect cur t =
+  if peek cur = t then advance cur
+  else
+    raise
+      (Parse_error
+         (Printf.sprintf "expected %s but found %s" (describe t) (describe (peek cur))))
+
+let starts_atom = function
+  | Event _ | Eps | Empty | Lparen -> true
+  | Plus | Dot | Star | Rparen | Eof -> false
+
+let rec parse_alt cur =
+  let first = parse_cat cur in
+  match peek cur with
+  | Plus ->
+    advance cur;
+    Regex.alt first (parse_alt cur)
+  | _ -> first
+
+and parse_cat cur =
+  let first = parse_star cur in
+  let rec continue_ acc =
+    match peek cur with
+    | Dot ->
+      advance cur;
+      continue_ (Regex.seq acc (parse_star cur))
+    | t when starts_atom t -> continue_ (Regex.seq acc (parse_star cur))
+    | _ -> acc
+  in
+  continue_ first
+
+and parse_star cur =
+  let atom = parse_atom cur in
+  let rec stars acc =
+    match peek cur with
+    | Star ->
+      advance cur;
+      stars (Regex.star acc)
+    | _ -> acc
+  in
+  stars atom
+
+and parse_atom cur =
+  match peek cur with
+  | Event name ->
+    advance cur;
+    Regex.sym_of_name name
+  | Eps ->
+    advance cur;
+    Regex.eps
+  | Empty ->
+    advance cur;
+    Regex.empty
+  | Lparen ->
+    advance cur;
+    let r = parse_alt cur in
+    expect cur Rparen;
+    r
+  | t ->
+    raise
+      (Parse_error (Printf.sprintf "expected an expression but found %s" (describe t)))
+
+let parse input =
+  let cur = { tokens = tokenize input } in
+  let r = parse_alt cur in
+  expect cur Eof;
+  r
+
+let parse_result input =
+  match parse input with
+  | r -> Ok r
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,22 @@
+(** Parser for the paper's regular-expression notation.
+
+    Accepts what {!Regex.pp} prints and convenient ASCII spellings:
+
+    {v
+    alt   ::= cat ('+' cat)*
+    cat   ::= star (('·' star) | star)*        juxtaposition concatenates
+    star  ::= atom '*'*
+    atom  ::= event | 'ε' | 'eps' | '1' | '∅' | 'empty' | '0' | '(' alt ')'
+    v}
+
+    Event names may contain dots ([a.open]), so ASCII concatenation is
+    written by juxtaposition ([a b c]) or with the UTF-8 middle dot; ['.'] is
+    always part of an identifier. Used by the CLI's [lang] subcommand and the
+    test-suite's round-trip properties. *)
+
+exception Parse_error of string
+
+val parse : string -> Regex.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Regex.t, string) result

@@ -1,0 +1,1 @@
+lib/symbol/symbol.ml: Array Format Hashtbl Int List Map Set String

@@ -1,0 +1,1 @@
+lib/symbol/symbol.mli: Format Map Set

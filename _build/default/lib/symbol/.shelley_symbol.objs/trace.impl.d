@@ -1,0 +1,1 @@
+lib/symbol/trace.ml: Format Int List Set Symbol

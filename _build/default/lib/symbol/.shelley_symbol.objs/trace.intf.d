@@ -1,0 +1,1 @@
+lib/symbol/trace.mli: Format Set Symbol

@@ -1,0 +1,50 @@
+type t = int
+
+(* The intern table is global and append-only: a symbol never changes meaning
+   during a run, which is exactly the property reports and automata rely on. *)
+let by_name : (string, t) Hashtbl.t = Hashtbl.create 256
+let names = ref (Array.make 256 "")
+let next = ref 0
+
+let ensure_capacity n =
+  if n > Array.length !names then begin
+    let bigger = Array.make (max n (2 * Array.length !names)) "" in
+    Array.blit !names 0 bigger 0 !next;
+    names := bigger
+  end
+
+let intern s =
+  match Hashtbl.find_opt by_name s with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    ensure_capacity (id + 1);
+    !names.(id) <- s;
+    incr next;
+    Hashtbl.add by_name s id;
+    id
+
+let name id =
+  if id < 0 || id >= !next then invalid_arg "Symbol.name: unknown symbol";
+  !names.(id)
+
+let compare = Int.compare
+let equal = Int.equal
+let hash (id : t) = id
+let to_int (id : t) = id
+let pp fmt id = Format.pp_print_string fmt (name id)
+let count () = !next
+let scoped ~scope op = intern (scope ^ "." ^ op)
+
+let split_scope id =
+  let s = name id in
+  match String.index_opt s '.' with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+
+let pp_set fmt set =
+  let sorted = Set.elements set |> List.map name |> List.sort String.compare in
+  Format.fprintf fmt "{%s}" (String.concat ", " sorted)

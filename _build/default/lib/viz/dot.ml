@@ -1,0 +1,88 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let of_nfa ?(name = "automaton") nfa =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %s {\n" (escape name);
+  add "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  for q = 0 to Nfa.num_states nfa - 1 do
+    let label =
+      match Nfa.label nfa q with
+      | Some l -> l
+      | None -> string_of_int q
+    in
+    let shape = if Nfa.is_accept nfa q then "doublecircle" else "circle" in
+    add "  n%d [label=\"%s\", shape=%s];\n" q (escape label) shape
+  done;
+  States.Set.iter
+    (fun q ->
+      add "  start%d [shape=point, style=invis];\n" q;
+      add "  start%d -> n%d;\n" q q)
+    (Nfa.start nfa);
+  List.iter
+    (fun (a, sym, b) -> add "  n%d -> n%d [label=\"%s\"];\n" a b (escape (Symbol.name sym)))
+    (Nfa.transitions nfa);
+  List.iter
+    (fun (a, b) -> add "  n%d -> n%d [label=\"\xce\xb5\", style=dashed];\n" a b)
+    (Nfa.epsilons nfa);
+  add "}\n";
+  Buffer.contents buf
+
+let of_model (model : Model.t) =
+  of_nfa ~name:model.Model.name (Depgraph.usage_nfa model)
+
+let of_depgraph (model : Model.t) =
+  let g = Depgraph.of_model model in
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph %s_deps {\n" (escape model.Model.name);
+  add "  rankdir=LR;\n  node [fontname=\"Helvetica\"];\n";
+  let node_id = function
+    | Depgraph.Entry name -> Printf.sprintf "entry_%s" name
+    | Depgraph.Exit (name, k) -> Printf.sprintf "exit_%s_%d" name k
+  in
+  let exit_label op_name k =
+    match Model.find_op model op_name with
+    | Some op -> (
+      match List.find_opt (fun (e : Model.exit_point) -> e.Model.exit_id = k) op.Model.exits with
+      | Some e -> Printf.sprintf "return [%s]" (String.concat ", " e.Model.next_ops)
+      | None -> Depgraph.node_label (Depgraph.Exit (op_name, k)))
+    | None -> Depgraph.node_label (Depgraph.Exit (op_name, k))
+  in
+  List.iter
+    (fun node ->
+      match node with
+      | Depgraph.Entry name -> add "  %s [label=\"%s\", shape=box];\n" (node_id node) (escape name)
+      | Depgraph.Exit (name, k) ->
+        add "  %s [label=\"%s\", shape=ellipse];\n" (node_id node) (escape (exit_label name k)))
+    g.Depgraph.nodes;
+  List.iter
+    (fun (src, dst) -> add "  %s -> %s;\n" (node_id src) (node_id dst))
+    g.Depgraph.arcs;
+  add "}\n";
+  Buffer.contents buf
+
+let of_operation (op : Model.operation) =
+  (* One alternative per exit, each ending in a labeled exit state. *)
+  let exit_regexes =
+    List.map
+      (fun (e : Model.exit_point) ->
+        Regex.seq e.Model.behavior
+          (Regex.sym
+             (Symbol.intern
+                (Printf.sprintf "-> exit %d [%s]" e.Model.exit_id
+                   (String.concat ", " e.Model.next_ops)))))
+      op.Model.exits
+  in
+  let nfa = Nfa.trim (Glushkov.of_regex (Regex.alt_list exit_regexes)) in
+  of_nfa ~name:op.Model.op_name nfa

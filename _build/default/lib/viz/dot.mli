@@ -1,0 +1,28 @@
+(** Graphviz (DOT) rendering of Shelley models and automata.
+
+    Shelley "includes a visualization tool that automatically generates
+    behavior diagrams based on the code annotations and based on the control
+    flow of the code under analysis" (§2); this module is that tool. The
+    output reproduces the paper's figures: Figure 1 (Valve), Figure 2
+    (BadSector) and Figure 3 (the Sector model of Listing 3.1). *)
+
+val of_nfa : ?name:string -> Nfa.t -> string
+(** Generic automaton rendering: double circles for accepting states, an
+    entry arrow into each start state, state labels where present. *)
+
+val of_model : Model.t -> string
+(** The operation-level diagram of a class (the paper's Figures 1–2 style):
+    one node per exit point plus a start node, edges labeled with operation
+    names; exits of final operations are double-circled. *)
+
+val of_depgraph : Model.t -> string
+(** The §3.1 dependency graph (the paper's Figure 3 style): entry nodes as
+    boxes, exit nodes as ellipses labeled with their return lists. *)
+
+val escape : string -> string
+(** DOT string escaping (exposed for tests). *)
+
+val of_operation : Model.operation -> string
+(** The control-flow behavior of one operation: the (trimmed) position
+    automaton of its inferred behavior over subsystem-call events, one
+    accepting state per exit point. *)

@@ -1,0 +1,17 @@
+  $ shelley check valve.py
+  $ shelley check bad_sector.py
+  $ shelley check --explain bad_sector.py | sed -n '7,9p'
+  $ shelley trace valve.py -c Valve "test,open,close"
+  $ shelley trace valve.py -c Valve "test,open"
+  $ shelley monitor valve.py -c Valve "test,open,close"
+  $ shelley monitor valve.py -c Valve "test,close"
+  $ shelley sample valve.py -c Valve -n 3 --seed 7
+  $ shelley infer paper_loop
+  $ shelley lang "(a b)*" "(a b)* + a"
+  $ shelley watch --claim "(!a.open) W b.open" "a.test,a.open,b.open"
+  $ shelley export valve.py -o .
+  $ head -4 Valve.shelley
+  $ shelley model valve.py --stats
+  $ shelley export valve.py -o . >/dev/null
+  $ tail -31 bad_sector.py > sector_only.py
+  $ shelley check --using Valve.shelley sector_only.py | head -5

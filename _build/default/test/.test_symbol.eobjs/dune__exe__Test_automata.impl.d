@@ -1,0 +1,1 @@
+test/test_automata.ml: Alcotest Deriv Determinize Dfa Enumerate Equiv Glushkov Infer Ir_examples Language List Minimize Nfa QCheck2 Regex State_elim States Symbol Testutil Thompson Trace

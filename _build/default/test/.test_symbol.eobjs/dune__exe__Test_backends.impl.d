@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest Determinize Dot Extract Infer Ir_examples List Ltl_parser Mpy_parser Nfa Nusmv Regex String Testutil Thompson Trace

@@ -1,0 +1,1 @@
+test/test_derivation.ml: Alcotest Derivation Format Ir_examples List Option Prog Prog_gen QCheck2 Semantics Testutil Trace

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Deriv Equiv Format Infer Ir_examples List Printf Prog Prog_gen Random Regex Semantics Symbol Testutil Trace

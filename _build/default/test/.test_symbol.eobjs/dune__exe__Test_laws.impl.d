@@ -1,0 +1,1 @@
+test/test_laws.ml: Alcotest Deriv Determinize Dfa Enumerate Equiv Language List Ltlf Minimize Nfa Printf Prog_gen QCheck2 Random Regex Sample String Testutil Thompson Trace

@@ -1,0 +1,1 @@
+test/test_model_io.ml: Alcotest Depgraph Equiv Extract Filename Fmt Fun Language List Model Model_io Mpy_parser Option Report Sexp_lite String Sys Testutil Trace Usage

@@ -1,0 +1,1 @@
+test/test_mpy.ml: Alcotest Format List Mpy_ast Mpy_lexer Mpy_lower Mpy_parser Mpy_pretty Mpy_token Option Printf Prog QCheck2 Semantics String Symbol Testutil

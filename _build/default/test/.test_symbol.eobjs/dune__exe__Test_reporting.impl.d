@@ -1,0 +1,1 @@
+test/test_reporting.ml: Alcotest Dot Explain Extract Format List Model Mpy_parser Option Pipeline Report Stats String Symbol Testutil

@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Determinize Dfa Enumerate Equiv Glushkov Infer Ir_examples List Minimize Nfa Prog Prog_gen Regex Semantics State_elim Testutil Trace

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest List Nfa Prog Prog_gen QCheck2 QCheck_alcotest Regex Seq String Symbol Trace

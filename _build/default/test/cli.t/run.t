@@ -1,0 +1,110 @@
+CLI golden tests. A clean class verifies:
+
+  $ shelley check valve.py
+  OK: specification verified
+
+The paper's example reproduces both Section 2.2 transcripts:
+
+  $ shelley check bad_sector.py
+  == bad_sector.py ==
+  Error in specification: INVALID SUBSYSTEM USAGE
+  Counter example: open_a, a.test, a.open
+  Subsystems errors:
+    * Valve 'a': test, >open< (not final)
+  
+  Error in specification: FAIL TO MEET REQUIREMENT
+  Formula: (!a.open) W b.open
+  Counter example: a.test, a.open
+  
+  [1]
+
+Counterexamples can be narrated:
+
+  $ shelley check --explain bad_sector.py | sed -n '7,9p'
+  1. open_a (line 42) — calls: a.test, a.open
+  Valve 'a' observed: test, open
+  the composite may stop here, but 'open' is not a final operation of Valve
+
+Usage traces are checked against the class protocol:
+
+  $ shelley trace valve.py -c Valve "test,open,close"
+  VALID: test, open, close is a complete usage of Valve
+
+  $ shelley trace valve.py -c Valve "test,open"
+  INVALID: test, open is not a complete usage of Valve
+  [1]
+
+The runtime monitor narrates each step and flags illegal stops:
+
+  $ shelley monitor valve.py -c Valve "test,open,close"
+  [test] allowed: {clean, open}
+  [test, open] allowed: {close}
+  [test, open, close] allowed: {test} (may stop)
+  [test, open, close] allowed: {test} (may stop)
+  OK: legal stopping point
+
+  $ shelley monitor valve.py -c Valve "test,close"
+  [test] allowed: {clean, open}
+  REJECTED 'close' (allowed: clean, open)
+  [1]
+
+Sampling is deterministic under a fixed seed:
+
+  $ shelley sample valve.py -c Valve -n 3 --seed 7
+  test, open, close, test, clean, test, clean, test, open, close
+  (empty usage)
+  test, open, close
+
+The paper's behavior inference, on its own Example 1-3 program:
+
+  $ shelley infer paper_loop
+  program:   loop(★){a(); if(★){b(); return} else {c()}}
+  denote:    ((a · c)*, {(a · c)* · a · b})
+  infer:     (a · c)* · a · b + (a · c)*
+
+Regular-language comparison:
+
+  $ shelley lang "(a b)*" "(a b)* + a"
+  r1 = (a · b)*
+  r2 = a + (a · b)*
+  r1 ⊆ r2: true
+  r2 ⊆ r1: false
+  distinguished by: a
+  [1]
+
+Four-valued claim monitoring:
+
+  $ shelley watch --claim "(!a.open) W b.open" "a.test,a.open,b.open"
+  (start)          presumably true
+  a.test           presumably true
+  a.open           definitely false
+  b.open           definitely false
+  [1]
+
+Model export round-trips through the .shelley format:
+
+  $ shelley export valve.py -o .
+  wrote ./Valve.shelley
+  $ head -4 Valve.shelley
+  (model
+    (name Valve)
+    (line 3)
+    (kind base)
+
+Model metrics:
+
+  $ shelley model valve.py --stats
+  class           ops exits  sub irsize     usage  expanded   minDFA
+  Valve             4     5    0     36    6/9      20/16          4
+
+Separate verification: check a composite against exported substrate models
+only (no Valve source in the checked file):
+
+  $ shelley export valve.py -o . >/dev/null
+  $ tail -31 bad_sector.py > sector_only.py
+  $ shelley check --using Valve.shelley sector_only.py | head -5
+  == sector_only.py ==
+  Error in specification: INVALID SUBSYSTEM USAGE
+  Counter example: open_a, a.test, a.open
+  Subsystems errors:
+    * Valve 'a': test, >open< (not final)

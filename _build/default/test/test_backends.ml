@@ -1,0 +1,200 @@
+open Testutil
+
+let valve_source =
+  {|
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+|}
+
+let bad_sector_source =
+  {|
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+|}
+
+let extract source =
+  (Extract.extract_class (Mpy_parser.parse_class source)).Extract.model
+
+let valve = extract valve_source
+let bad_sector = extract bad_sector_source
+
+(* --- DOT ------------------------------------------------------------------------ *)
+
+let test_dot_escape () =
+  Alcotest.(check string) "quotes" "a\\\"b" (Dot.escape "a\"b");
+  Alcotest.(check string) "backslash" "a\\\\b" (Dot.escape "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Dot.escape "a\nb");
+  Alcotest.(check string) "plain" "open_a" (Dot.escape "open_a")
+
+let test_dot_of_model_valve () =
+  let dot = Dot.of_model valve in
+  Alcotest.(check bool) "digraph header" true (contains dot "digraph Valve {");
+  (* 4 ops with 1+1+1+2 exits = 5 exit states + start = 6 nodes. *)
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool) fragment true (contains dot fragment))
+    [
+      "label=\"start\"";
+      "label=\"test/0\"";
+      "label=\"test/1\"";
+      "label=\"open/0\"";
+      "label=\"close/0\"";
+      "label=\"clean/0\"";
+      "[label=\"test\"]";
+      "[label=\"open\"]";
+      "doublecircle";
+    ]
+
+let test_dot_final_states_doubled () =
+  let dot = Dot.of_model valve in
+  (* close and clean exits are accepting. *)
+  Alcotest.(check bool) "close doubled" true
+    (contains dot "[label=\"close/0\", shape=doublecircle]");
+  Alcotest.(check bool) "open not doubled" true
+    (contains dot "[label=\"open/0\", shape=circle]")
+
+let test_dot_of_depgraph () =
+  let dot = Dot.of_depgraph bad_sector in
+  Alcotest.(check bool) "entry box" true (contains dot "entry_open_a [label=\"open_a\", shape=box]");
+  Alcotest.(check bool) "exit with return list" true
+    (contains dot "return [open_b]");
+  Alcotest.(check bool) "arc entry to exit" true
+    (contains dot "entry_open_a -> exit_open_a_0");
+  Alcotest.(check bool) "arc exit to next entry" true
+    (contains dot "exit_open_a_0 -> entry_open_b")
+
+let test_dot_of_nfa_roundtrippable () =
+  (* The DOT for an arbitrary automaton contains every transition. *)
+  let nfa = Thompson.of_regex (Infer.infer Ir_examples.paper_loop) in
+  let dot = Dot.of_nfa nfa in
+  let transition_lines =
+    String.split_on_char '\n' dot
+    |> List.filter (fun l -> contains l " -> " && contains l "label=")
+  in
+  Alcotest.(check bool) "every labeled transition present" true
+    (List.length transition_lines
+     >= List.length (Nfa.transitions nfa))
+
+(* --- NuSMV ----------------------------------------------------------------------- *)
+
+let test_sanitize () =
+  Alcotest.(check string) "dots" "a__open" (Nusmv.sanitize "a.open");
+  Alcotest.(check string) "plain" "open_a" (Nusmv.sanitize "open_a");
+  Alcotest.(check string) "weird" "x_y" (Nusmv.sanitize "x%y")
+
+let test_module_of_dfa_shape () =
+  let dfa =
+    Determinize.determinize (Thompson.of_regex (Regex.word (Trace.of_names [ "a.x"; "a.y" ])))
+  in
+  let smv = Nusmv.module_of_dfa ~name:"two_step" dfa in
+  List.iter
+    (fun fragment -> Alcotest.(check bool) fragment true (contains smv fragment))
+    [
+      "MODULE main";
+      "event : {";
+      "e_a__x";
+      "e_a__y";
+      "e_end";
+      "init(state) :=";
+      "next(state) := case";
+      "TRANS event = e_end -> next(event) = e_end";
+      "accept :=";
+      "LTLSPEC G (event = e_end -> accept)";
+    ]
+
+let test_module_of_class_includes_claims () =
+  let smv = Nusmv.model_of_class bad_sector in
+  Alcotest.(check bool) "claim comment" true (contains smv "-- claim: (!a.open) W b.open");
+  Alcotest.(check bool) "ltlspec present" true (contains smv "LTLSPEC ((");
+  Alcotest.(check bool) "alive guard" true (contains smv "alive")
+
+let test_ltlspec_embedding () =
+  let f = Ltl_parser.parse "(!a.open) W b.open" in
+  let spec = Nusmv.ltlspec_of_claim f in
+  Alcotest.(check bool) "uses event atoms" true (contains spec "event = e_b__open");
+  Alcotest.(check bool) "weak until expansion has G" true (contains spec "G (alive ->")
+
+let test_ltlspec_next_strong_weak () =
+  Alcotest.(check string) "strong next" "LTLSPEC X (alive & event = e_a)"
+    (Nusmv.ltlspec_of_claim (Ltl_parser.parse "X a"));
+  Alcotest.(check string) "weak next" "LTLSPEC X (!alive | event = e_a)"
+    (Nusmv.ltlspec_of_claim (Ltl_parser.parse "WX a"))
+
+let test_nusmv_deterministic_output () =
+  (* Emission is a pure function of the model. *)
+  let smv1 = Nusmv.model_of_class bad_sector in
+  let smv2 = Nusmv.model_of_class bad_sector in
+  Alcotest.(check string) "stable" smv1 smv2
+
+let () =
+  Alcotest.run "backends"
+    [
+      ( "dot",
+        [
+          Alcotest.test_case "escape" `Quick test_dot_escape;
+          Alcotest.test_case "valve model" `Quick test_dot_of_model_valve;
+          Alcotest.test_case "final states doubled" `Quick test_dot_final_states_doubled;
+          Alcotest.test_case "dependency graph" `Quick test_dot_of_depgraph;
+          Alcotest.test_case "nfa transitions" `Quick test_dot_of_nfa_roundtrippable;
+        ] );
+      ( "nusmv",
+        [
+          Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "module shape" `Quick test_module_of_dfa_shape;
+          Alcotest.test_case "class with claims" `Quick test_module_of_class_includes_claims;
+          Alcotest.test_case "ltlspec embedding" `Quick test_ltlspec_embedding;
+          Alcotest.test_case "strong vs weak next" `Quick test_ltlspec_next_strong_weak;
+          Alcotest.test_case "deterministic output" `Quick test_nusmv_deterministic_output;
+        ] );
+    ]

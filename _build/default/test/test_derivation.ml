@@ -1,0 +1,196 @@
+(* Derivation trees for the paper's judgment: search completeness against
+   the set-based oracle, the rule checker, and the paper's Examples 1-2 as
+   explicit proofs. *)
+
+open Testutil
+
+let search = Derivation.search
+let ongoing = Semantics.Ongoing
+let returned = Semantics.Returned
+
+(* --- The paper's examples as explicit proofs ----------------------------------- *)
+
+let test_example1_derivation () =
+  match search ongoing Ir_examples.example1_trace Ir_examples.paper_loop with
+  | None -> Alcotest.fail "Example 1 must be derivable"
+  | Some d ->
+    Alcotest.(check bool) "checks" true (Derivation.check d);
+    Alcotest.(check string) "root rule" "LOOP-3" (Derivation.rule_name d);
+    let c = Derivation.conclusion d in
+    Alcotest.check trace "conclusion trace" Ir_examples.example1_trace c.Derivation.trace
+
+let test_example2_derivation () =
+  match search returned Ir_examples.example2_trace Ir_examples.paper_loop with
+  | None -> Alcotest.fail "Example 2 must be derivable"
+  | Some d ->
+    Alcotest.(check bool) "checks" true (Derivation.check d);
+    Alcotest.(check bool) "non-trivial proof" true (Derivation.size d >= 6)
+
+let test_underivable () =
+  Alcotest.(check bool) "swapped status 1" true
+    (search returned Ir_examples.example1_trace Ir_examples.paper_loop = None);
+  Alcotest.(check bool) "swapped status 2" true
+    (search ongoing Ir_examples.example2_trace Ir_examples.paper_loop = None);
+  Alcotest.(check bool) "garbage trace" true
+    (search ongoing (tr [ "z" ]) Ir_examples.paper_loop = None)
+
+(* --- Axioms ---------------------------------------------------------------------- *)
+
+let test_axioms () =
+  (match search ongoing (tr [ "f" ]) (Prog.call_name "f") with
+  | Some (Derivation.Call _ as d) -> Alcotest.(check bool) "CALL checks" true (Derivation.check d)
+  | _ -> Alcotest.fail "CALL");
+  (match search ongoing [] Prog.skip with
+  | Some (Derivation.Skip _ as d) -> Alcotest.(check bool) "SKIP checks" true (Derivation.check d)
+  | _ -> Alcotest.fail "SKIP");
+  (match search returned [] Prog.return with
+  | Some (Derivation.Return _ as d) ->
+    Alcotest.(check bool) "RETURN checks" true (Derivation.check d)
+  | _ -> Alcotest.fail "RETURN");
+  match search ongoing [] (Prog.loop (Prog.call_name "a")) with
+  | Some (Derivation.Loop1 _ as d) ->
+    Alcotest.(check bool) "LOOP-1 checks" true (Derivation.check d)
+  | _ -> Alcotest.fail "LOOP-1"
+
+let test_seq_rules () =
+  let p = Prog.seq (Prog.call_name "a") (Prog.call_name "b") in
+  (match search ongoing (tr [ "a"; "b" ]) p with
+  | Some (Derivation.Seq2 _ as d) -> Alcotest.(check bool) "SEQ-2" true (Derivation.check d)
+  | _ -> Alcotest.fail "SEQ-2 expected");
+  let early = Prog.seq Prog.return (Prog.call_name "b") in
+  match search returned [] early with
+  | Some (Derivation.Seq1 _ as d) -> Alcotest.(check bool) "SEQ-1" true (Derivation.check d)
+  | _ -> Alcotest.fail "SEQ-1 expected"
+
+(* --- The checker rejects malformed trees ------------------------------------------- *)
+
+let test_check_rejects_wrong_axiom () =
+  let bogus =
+    Derivation.Call
+      { Derivation.status = ongoing; trace = tr [ "g" ]; prog = Prog.call_name "f" }
+  in
+  Alcotest.(check bool) "wrong trace rejected" false (Derivation.check bogus)
+
+let test_check_rejects_bad_split () =
+  let p = Prog.seq (Prog.call_name "a") (Prog.call_name "b") in
+  let j = { Derivation.status = ongoing; trace = tr [ "b"; "a" ]; prog = p } in
+  let d1 =
+    Derivation.Call
+      { Derivation.status = ongoing; trace = tr [ "a" ]; prog = Prog.call_name "a" }
+  in
+  let d2 =
+    Derivation.Call
+      { Derivation.status = ongoing; trace = tr [ "b" ]; prog = Prog.call_name "b" }
+  in
+  (* Premises are fine individually, but a·b ≠ b·a. *)
+  Alcotest.(check bool) "wrong concatenation rejected" false
+    (Derivation.check (Derivation.Seq2 (j, d1, d2)))
+
+let test_check_rejects_status_mismatch () =
+  let p = Prog.loop (Prog.call_name "a") in
+  let bogus = Derivation.Loop1 { Derivation.status = returned; trace = []; prog = p } in
+  Alcotest.(check bool) "LOOP-1 must be ongoing" false (Derivation.check bogus)
+
+(* --- Agreement with the set-based oracle --------------------------------------------- *)
+
+let statuses = [ ongoing; returned ]
+
+let traces_upto syms n =
+  let rec go n =
+    if n = 0 then [ [] ]
+    else
+      let shorter = go (n - 1) in
+      shorter
+      @ (List.concat_map
+           (fun w -> List.map (fun s -> s :: w) syms)
+           (List.filter (fun w -> List.length w = n - 1) shorter))
+  in
+  go n
+
+let test_search_complete_exhaustive () =
+  (* Over all programs of size ≤ 4 and traces of length ≤ 3 on {a, b}:
+     search succeeds iff the oracle says derivable, and every found
+     derivation checks and concludes the right judgment. *)
+  let syms = [ sym "a"; sym "b" ] in
+  let progs = Prog_gen.all_upto_size ~size:4 ~alphabet:syms in
+  let traces = traces_upto syms 3 in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun l ->
+          List.iter
+            (fun s ->
+              let oracle = Semantics.derivable s l p in
+              match Derivation.search s l p with
+              | None ->
+                if oracle then
+                  Alcotest.failf "search missed %s on %s" (Prog.to_string p)
+                    (Trace.to_string l)
+              | Some d ->
+                if not oracle then
+                  Alcotest.failf "search over-approximated %s on %s" (Prog.to_string p)
+                    (Trace.to_string l);
+                if not (Derivation.check d) then
+                  Alcotest.failf "invalid derivation for %s" (Prog.to_string p);
+                let c = Derivation.conclusion d in
+                if
+                  not
+                    (c.Derivation.status = s
+                    && Trace.equal c.Derivation.trace l
+                    && Prog.equal c.Derivation.prog p)
+                then Alcotest.fail "conclusion mismatch")
+            statuses)
+        traces)
+    progs
+
+let prop_search_matches_oracle =
+  qtest "search = oracle on random programs" ~count:150
+    QCheck2.Gen.(
+      pair default_prog_gen (list_size (int_range 0 4) (oneofl Prog_gen.default_alphabet)))
+    ~print:(fun (p, l) -> Prog.to_string p ^ " / " ^ Trace.to_string l)
+    (fun (p, l) ->
+      List.for_all
+        (fun s ->
+          match Derivation.search s l p with
+          | Some d ->
+            Semantics.derivable s l p && Derivation.check d
+            && (let c = Derivation.conclusion d in
+                c.Derivation.status = s && Trace.equal c.Derivation.trace l
+                && Prog.equal c.Derivation.prog p)
+          | None -> not (Semantics.derivable s l p))
+        statuses)
+
+let test_pp_shape () =
+  let d = Option.get (search ongoing Ir_examples.example1_trace Ir_examples.paper_loop) in
+  let text = Format.asprintf "%a" Derivation.pp d in
+  List.iter
+    (fun fragment -> Alcotest.(check bool) fragment true (contains text fragment))
+    [ "LOOP-3:"; "SEQ-2:"; "CALL:"; "IF-2:" ]
+
+let () =
+  Alcotest.run "derivation"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "Example 1 proof" `Quick test_example1_derivation;
+          Alcotest.test_case "Example 2 proof" `Quick test_example2_derivation;
+          Alcotest.test_case "underivable judgments" `Quick test_underivable;
+          Alcotest.test_case "pp shape" `Quick test_pp_shape;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "axioms" `Quick test_axioms;
+          Alcotest.test_case "sequencing" `Quick test_seq_rules;
+        ] );
+      ( "checker",
+        [
+          Alcotest.test_case "wrong axiom" `Quick test_check_rejects_wrong_axiom;
+          Alcotest.test_case "bad split" `Quick test_check_rejects_bad_split;
+          Alcotest.test_case "status mismatch" `Quick test_check_rejects_status_mismatch;
+        ] );
+      ( "oracle-agreement",
+        [
+          Alcotest.test_case "bounded exhaustive" `Slow test_search_complete_exhaustive;
+          prop_search_matches_oracle;
+        ] );
+    ]

@@ -1,0 +1,281 @@
+open Testutil
+
+(* --- Prog ----------------------------------------------------------------- *)
+
+let test_prog_pp () =
+  Alcotest.(check string)
+    "paper style" "loop(\xe2\x98\x85){a(); if(\xe2\x98\x85){b(); return} else {c()}}"
+    (Prog.to_string Ir_examples.paper_loop)
+
+let test_prog_size () =
+  Alcotest.(check int) "paper loop size" 8 (Prog.size Ir_examples.paper_loop)
+
+let test_prog_calls () =
+  let calls = Prog.calls Ir_examples.paper_loop in
+  Alcotest.(check int) "three events" 3 (Symbol.Set.cardinal calls)
+
+let test_choice () =
+  let p = Prog.choice [ Prog.call_name "a"; Prog.call_name "b"; Prog.call_name "c" ] in
+  Alcotest.(check bool) "a derivable" true (Semantics.in_behavior (tr [ "a" ]) p);
+  Alcotest.(check bool) "b derivable" true (Semantics.in_behavior (tr [ "b" ]) p);
+  Alcotest.(check bool) "c derivable" true (Semantics.in_behavior (tr [ "c" ]) p);
+  Alcotest.(check bool) "choice [] = skip" true (Prog.equal (Prog.choice []) Prog.skip)
+
+let test_always_returns () =
+  Alcotest.(check bool) "return" true (Prog.always_returns Prog.return);
+  Alcotest.(check bool) "call" false (Prog.always_returns (Prog.call_name "a"));
+  Alcotest.(check bool) "seq with early return" true
+    (Prog.always_returns (Prog.seq Prog.return (Prog.call_name "a")));
+  Alcotest.(check bool) "if both return" true
+    (Prog.always_returns (Prog.if_ Prog.return Prog.return));
+  Alcotest.(check bool) "if one branch" false
+    (Prog.always_returns (Prog.if_ Prog.return Prog.skip));
+  Alcotest.(check bool) "loop never guarantees" false
+    (Prog.always_returns (Prog.loop Prog.return))
+
+(* --- Semantics: the paper's rules one by one --------------------------------- *)
+
+let test_rule_call () =
+  let p = Prog.call_name "f" in
+  Alcotest.(check bool) "0 ⊢ [f] ∈ f()" true (Semantics.derivable Semantics.Ongoing (tr [ "f" ]) p);
+  Alcotest.(check bool) "R ⊬ [f]" false (Semantics.derivable Semantics.Returned (tr [ "f" ]) p);
+  Alcotest.(check bool) "0 ⊬ []" false (Semantics.derivable Semantics.Ongoing [] p)
+
+let test_rule_skip () =
+  Alcotest.(check bool) "0 ⊢ [] ∈ skip" true (Semantics.derivable Semantics.Ongoing [] Prog.skip);
+  Alcotest.(check bool) "R ⊬ [] ∈ skip" false (Semantics.derivable Semantics.Returned [] Prog.skip)
+
+let test_rule_return () =
+  Alcotest.(check bool) "R ⊢ [] ∈ return" true (Semantics.derivable Semantics.Returned [] Prog.return);
+  Alcotest.(check bool) "0 ⊬ [] ∈ return" false (Semantics.derivable Semantics.Ongoing [] Prog.return)
+
+let test_rule_seq_early_return () =
+  (* SEQ-1: a(); return; b() never emits b. *)
+  let p = Prog.seq_list [ Prog.call_name "a"; Prog.return; Prog.call_name "b" ] in
+  Alcotest.(check bool) "R ⊢ [a]" true (Semantics.derivable Semantics.Returned (tr [ "a" ]) p);
+  Alcotest.(check bool) "no [a, b]" false (Semantics.in_behavior (tr [ "a"; "b" ]) p)
+
+let test_rule_seq_compose () =
+  let p = Prog.seq (Prog.call_name "a") (Prog.call_name "b") in
+  Alcotest.(check bool) "0 ⊢ [a, b]" true (Semantics.derivable Semantics.Ongoing (tr [ "a"; "b" ]) p);
+  Alcotest.(check bool) "prefix alone not ongoing" false
+    (Semantics.derivable Semantics.Ongoing (tr [ "a" ]) p)
+
+let test_rule_if () =
+  let p = Prog.if_ (Prog.call_name "a") (Prog.seq (Prog.call_name "b") Prog.return) in
+  Alcotest.(check bool) "then branch ongoing" true (Semantics.derivable Semantics.Ongoing (tr [ "a" ]) p);
+  Alcotest.(check bool) "else branch returned" true
+    (Semantics.derivable Semantics.Returned (tr [ "b" ]) p);
+  Alcotest.(check bool) "no mixing" false (Semantics.in_behavior (tr [ "a"; "b" ]) p)
+
+let test_rule_loop_zero_iterations () =
+  let p = Prog.loop (Prog.call_name "a") in
+  Alcotest.(check bool) "LOOP-1" true (Semantics.derivable Semantics.Ongoing [] p)
+
+let test_rule_loop_iterates () =
+  let p = Prog.loop (Prog.call_name "a") in
+  Alcotest.(check bool) "three iterations" true
+    (Semantics.derivable Semantics.Ongoing (tr [ "a"; "a"; "a" ]) p)
+
+let test_rule_loop_early_return () =
+  let p = Prog.loop (Prog.if_ (Prog.seq (Prog.call_name "b") Prog.return) (Prog.call_name "c")) in
+  Alcotest.(check bool) "c*b returned" true
+    (Semantics.derivable Semantics.Returned (tr [ "c"; "c"; "b" ]) p);
+  Alcotest.(check bool) "nothing after return" false
+    (Semantics.in_behavior (tr [ "b"; "c" ]) p)
+
+let test_paper_example_1 () =
+  (* 0 ⊢ [a, c, a, c] ∈ loop(★){a(); if(★){b(); return} else {c()}} *)
+  Alcotest.(check bool) "Example 1" true
+    (Semantics.derivable Semantics.Ongoing Ir_examples.example1_trace Ir_examples.paper_loop)
+
+let test_paper_example_2 () =
+  (* R ⊢ [a, c, a, b] ∈ the same program *)
+  Alcotest.(check bool) "Example 2" true
+    (Semantics.derivable Semantics.Returned Ir_examples.example2_trace Ir_examples.paper_loop)
+
+let test_paper_examples_not_swapped () =
+  Alcotest.(check bool) "Example 1 trace is not returned" false
+    (Semantics.derivable Semantics.Returned Ir_examples.example1_trace Ir_examples.paper_loop);
+  Alcotest.(check bool) "Example 2 trace is not ongoing" false
+    (Semantics.derivable Semantics.Ongoing Ir_examples.example2_trace Ir_examples.paper_loop)
+
+let test_behavior_upto_dedup () =
+  (* if(★){a} else {a} has the same behavior as a() *)
+  let p = Prog.if_ (Prog.call_name "a") (Prog.call_name "a") in
+  Alcotest.check trace_set "deduplicated"
+    (Semantics.behavior_upto ~max_len:3 (Prog.call_name "a"))
+    (Semantics.behavior_upto ~max_len:3 p)
+
+let test_dead_code_after_return () =
+  let p = Prog.seq Prog.return (Prog.loop (Prog.call_name "a")) in
+  Alcotest.check trace_set "only the empty returned trace"
+    (Trace.Set.singleton [])
+    (Semantics.behavior_upto ~max_len:4 p)
+
+let test_loop_skip_body () =
+  (* loop(★){skip} can only ever produce the empty ongoing trace. *)
+  let p = Prog.loop Prog.skip in
+  Alcotest.check trace_set "empty trace only" (Trace.Set.singleton [])
+    (Semantics.behavior_upto ~max_len:3 p)
+
+(* --- Inference: Figure 4 bottom ----------------------------------------------- *)
+
+let test_denote_call () =
+  let d = Infer.denote (Prog.call_name "f") in
+  Alcotest.check regex "ongoing f" (Regex.sym_of_name "f") d.Infer.ongoing;
+  Alcotest.(check int) "no returned" 0 (List.length d.Infer.returned)
+
+let test_denote_skip () =
+  let d = Infer.denote Prog.skip in
+  Alcotest.check regex "eps" Regex.eps d.Infer.ongoing;
+  Alcotest.(check int) "no returned" 0 (List.length d.Infer.returned)
+
+let test_denote_return () =
+  let d = Infer.denote Prog.return in
+  Alcotest.check regex "empty ongoing" Regex.empty d.Infer.ongoing;
+  Alcotest.(check (list string)) "returned = {eps}" [ "\xce\xb5" ]
+    (List.map Regex.to_string d.Infer.returned)
+
+let test_denote_seq_early_return () =
+  (* ⟦a(); return⟧ = (a·∅, {a·ε}) = (∅, {a}) in normal form *)
+  let d = Infer.denote (Prog.seq (Prog.call_name "a") Prog.return) in
+  Alcotest.check regex "ongoing empty" Regex.empty d.Infer.ongoing;
+  Alcotest.(check (list string)) "returned {a}" [ "a" ]
+    (List.map Regex.to_string d.Infer.returned)
+
+let test_denote_paper_example_3 () =
+  (* ⟦loop(★){a(); if(★){b(); return} else {c()}}⟧
+     = ((a·((b·∅)+c))*, {(a·((b·∅)+c))*·a·b}).
+     Our normal form reduces b·∅ to ∅ and (∅+c) to c; the language is the
+     same, which is what we check. *)
+  let d = Infer.denote Ir_examples.paper_loop in
+  Alcotest.(check bool) "ongoing ≡ paper's ongoing" true
+    (Equiv.equivalent d.Infer.ongoing Ir_examples.example3_expected_ongoing);
+  match d.Infer.returned with
+  | [ r ] ->
+    let expected =
+      Regex.seq Ir_examples.example3_expected_ongoing
+        (Regex.seq (Regex.sym_of_name "a") (Regex.sym_of_name "b"))
+    in
+    Alcotest.(check bool) "returned ≡ paper's returned" true (Equiv.equivalent r expected)
+  | other -> Alcotest.failf "expected one returned behavior, got %d" (List.length other)
+
+let test_infer_merges () =
+  let p = Prog.if_ (Prog.seq (Prog.call_name "a") Prog.return) (Prog.call_name "b") in
+  let r = Infer.infer p in
+  Alcotest.(check bool) "a from returned branch" true (Deriv.matches r (tr [ "a" ]));
+  Alcotest.(check bool) "b from ongoing branch" true (Deriv.matches r (tr [ "b" ]))
+
+let test_exit_behaviors () =
+  (* Two return points, like method open_a of Listing 3.1. *)
+  let p =
+    Prog.if_
+      (Prog.seq (Prog.call_name "x") Prog.return)
+      (Prog.seq (Prog.call_name "y") Prog.return)
+  in
+  Alcotest.(check int) "two exits" 2 (List.length (Infer.exit_behaviors p))
+
+let test_pp_denotation () =
+  let d = Infer.denote (Prog.seq (Prog.call_name "a") Prog.return) in
+  Alcotest.(check string) "pair form" "(\xe2\x88\x85, {a})"
+    (Format.asprintf "%a" Infer.pp_denotation d)
+
+(* --- Corpus sanity -------------------------------------------------------------- *)
+
+let test_corpus_lookup () =
+  Alcotest.(check bool) "paper_loop in corpus" true
+    (Prog.equal (Ir_examples.find "paper_loop") Ir_examples.paper_loop)
+
+let test_corpus_all_infer () =
+  List.iter
+    (fun (name, p) ->
+      let r = Infer.infer p in
+      (* Quick consistency probe on every corpus entry. *)
+      let sem = Semantics.behavior_upto ~max_len:3 p in
+      Trace.Set.iter
+        (fun l ->
+          if not (Deriv.matches r l) then
+            Alcotest.failf "%s: semantic trace [%s] rejected by inference" name
+              (Trace.to_string l))
+        sem)
+    Ir_examples.corpus
+
+(* --- Generators ------------------------------------------------------------------ *)
+
+let test_prog_gen_sizes () =
+  let state = Random.State.make [| 42 |] in
+  List.iter
+    (fun size ->
+      let p = Prog_gen.random ~state ~size ~alphabet:Prog_gen.default_alphabet () in
+      Alcotest.(check bool)
+        (Printf.sprintf "size %d respected" size)
+        true
+        (Prog.size p <= size))
+    [ 1; 5; 10; 40 ]
+
+let test_all_of_size_exact () =
+  (* size 1 over {a}: call a, skip, return. *)
+  let progs = Prog_gen.all_of_size ~size:1 ~alphabet:[ sym "a" ] in
+  Alcotest.(check int) "three leaves" 3 (List.length progs);
+  (* size 2: only loop of each leaf. *)
+  let progs2 = Prog_gen.all_of_size ~size:2 ~alphabet:[ sym "a" ] in
+  Alcotest.(check int) "three loops" 3 (List.length progs2)
+
+let test_all_of_size_3 () =
+  (* size 3 over {a}: loop(loop(leaf)) = 3, and (seq|if)(leaf, leaf) = 2*9. *)
+  let progs = Prog_gen.all_of_size ~size:3 ~alphabet:[ sym "a" ] in
+  Alcotest.(check int) "twenty-one programs" 21 (List.length progs)
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "prog",
+        [
+          Alcotest.test_case "pp" `Quick test_prog_pp;
+          Alcotest.test_case "size" `Quick test_prog_size;
+          Alcotest.test_case "calls" `Quick test_prog_calls;
+          Alcotest.test_case "choice" `Quick test_choice;
+          Alcotest.test_case "always_returns" `Quick test_always_returns;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "rule CALL" `Quick test_rule_call;
+          Alcotest.test_case "rule SKIP" `Quick test_rule_skip;
+          Alcotest.test_case "rule RETURN" `Quick test_rule_return;
+          Alcotest.test_case "rule SEQ-1" `Quick test_rule_seq_early_return;
+          Alcotest.test_case "rule SEQ-2" `Quick test_rule_seq_compose;
+          Alcotest.test_case "rules IF-1/IF-2" `Quick test_rule_if;
+          Alcotest.test_case "rule LOOP-1" `Quick test_rule_loop_zero_iterations;
+          Alcotest.test_case "rule LOOP-3" `Quick test_rule_loop_iterates;
+          Alcotest.test_case "rule LOOP-2" `Quick test_rule_loop_early_return;
+          Alcotest.test_case "paper Example 1" `Quick test_paper_example_1;
+          Alcotest.test_case "paper Example 2" `Quick test_paper_example_2;
+          Alcotest.test_case "examples not swapped" `Quick test_paper_examples_not_swapped;
+          Alcotest.test_case "behavior dedup" `Quick test_behavior_upto_dedup;
+          Alcotest.test_case "dead code after return" `Quick test_dead_code_after_return;
+          Alcotest.test_case "loop skip body" `Quick test_loop_skip_body;
+        ] );
+      ( "inference",
+        [
+          Alcotest.test_case "denote call" `Quick test_denote_call;
+          Alcotest.test_case "denote skip" `Quick test_denote_skip;
+          Alcotest.test_case "denote return" `Quick test_denote_return;
+          Alcotest.test_case "denote seq early return" `Quick test_denote_seq_early_return;
+          Alcotest.test_case "paper Example 3" `Quick test_denote_paper_example_3;
+          Alcotest.test_case "infer merges" `Quick test_infer_merges;
+          Alcotest.test_case "exit behaviors" `Quick test_exit_behaviors;
+          Alcotest.test_case "pp denotation" `Quick test_pp_denotation;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "lookup" `Quick test_corpus_lookup;
+          Alcotest.test_case "all infer consistently" `Quick test_corpus_all_infer;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "random sizes" `Quick test_prog_gen_sizes;
+          Alcotest.test_case "exhaustive size 1-2" `Quick test_all_of_size_exact;
+          Alcotest.test_case "exhaustive size 3" `Quick test_all_of_size_3;
+        ] );
+    ]

@@ -1,0 +1,246 @@
+(* S-expression layer and model persistence round-trips. *)
+
+open Testutil
+
+(* --- Sexp_lite --------------------------------------------------------------- *)
+
+let sexp = Alcotest.testable (Fmt.of_to_string Sexp_lite.to_string) ( = )
+
+let test_sexp_atoms () =
+  Alcotest.check sexp "bare" (Sexp_lite.atom "hello") (Sexp_lite.parse "hello");
+  Alcotest.check sexp "quoted" (Sexp_lite.atom "two words") (Sexp_lite.parse "\"two words\"");
+  Alcotest.check sexp "escapes"
+    (Sexp_lite.atom "a\"b\\c\nd")
+    (Sexp_lite.parse "\"a\\\"b\\\\c\\nd\"")
+
+let test_sexp_lists () =
+  Alcotest.check sexp "nested"
+    (Sexp_lite.list
+       [ Sexp_lite.atom "a"; Sexp_lite.list [ Sexp_lite.atom "b"; Sexp_lite.atom "c" ] ])
+    (Sexp_lite.parse "(a (b c))");
+  Alcotest.check sexp "empty" (Sexp_lite.list []) (Sexp_lite.parse "()")
+
+let test_sexp_comments_and_space () =
+  Alcotest.check sexp "comments"
+    (Sexp_lite.list [ Sexp_lite.atom "a" ])
+    (Sexp_lite.parse "; header\n ( a ; trailing\n )\n")
+
+let test_sexp_errors () =
+  List.iter
+    (fun bad ->
+      match Sexp_lite.parse bad with
+      | _ -> Alcotest.failf "expected failure on %S" bad
+      | exception Sexp_lite.Parse_error _ -> ())
+    [ ""; "("; ")"; "(a))"; "\"unterminated"; "a b" ]
+
+let test_sexp_roundtrip () =
+  let value =
+    Sexp_lite.list
+      [
+        Sexp_lite.atom "model";
+        Sexp_lite.list [ Sexp_lite.atom "name"; Sexp_lite.atom "weird (name)" ];
+        Sexp_lite.list [ Sexp_lite.atom "empty"; Sexp_lite.atom "" ];
+        Sexp_lite.list [];
+      ]
+  in
+  Alcotest.check sexp "compact" value (Sexp_lite.parse (Sexp_lite.to_string value));
+  Alcotest.check sexp "pretty" value (Sexp_lite.parse (Sexp_lite.to_string_pretty value))
+
+let test_sexp_fields () =
+  let record = Sexp_lite.parse "(r (name x) (items a b c) (one (pair u v)))" in
+  Alcotest.(check (option string)) "atom field" (Some "x")
+    (Sexp_lite.field_atom "name" record);
+  Alcotest.(check (option int)) "list field arity" (Some 3)
+    (Option.map List.length (Sexp_lite.field "items" record));
+  Alcotest.(check bool) "one field" true (Sexp_lite.field_one "one" record <> None);
+  Alcotest.(check (option string)) "missing" None (Sexp_lite.field_atom "nope" record)
+
+(* --- Model round-trips --------------------------------------------------------- *)
+
+let valve_source =
+  {|
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+|}
+
+let bad_sector_source =
+  {|
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return ["open_b"]
+            case ["clean"]:
+                self.a.clean()
+                return []
+
+    @op_final
+    def open_b(self):
+        match self.b.test():
+            case ["open"]:
+                self.b.open()
+                self.a.close()
+                self.b.close()
+                return []
+            case ["clean"]:
+                self.b.clean()
+                self.a.close()
+                return []
+|}
+
+let extract source =
+  (Extract.extract_class (Mpy_parser.parse_class source)).Extract.model
+
+let valve = extract valve_source
+let bad_sector = extract bad_sector_source
+
+let roundtrip model =
+  match Model_io.of_string (Model_io.to_string model) with
+  | Ok m -> m
+  | Error msg -> Alcotest.failf "round-trip failed: %s" msg
+
+let test_model_metadata_roundtrip () =
+  let m = roundtrip bad_sector in
+  Alcotest.(check string) "name" "BadSector" m.Model.name;
+  Alcotest.(check bool) "kind" true (m.Model.kind = `Composite);
+  Alcotest.(check (list string)) "subsystems" [ "a"; "b" ] m.Model.declared_subsystems;
+  Alcotest.(check (list (pair string string))) "fields"
+    [ ("a", "Valve"); ("b", "Valve") ]
+    m.Model.subsystem_fields;
+  Alcotest.(check (list string)) "claims" [ "(!a.open) W b.open" ]
+    (List.map fst m.Model.claims);
+  Alcotest.(check (list string)) "ops" [ "open_a"; "open_b" ] (Model.op_names m)
+
+let test_model_exits_roundtrip () =
+  let m = roundtrip valve in
+  let original = Option.get (Model.find_op valve "test") in
+  let loaded = Option.get (Model.find_op m "test") in
+  List.iter2
+    (fun (a : Model.exit_point) (b : Model.exit_point) ->
+      Alcotest.(check int) "exit id" a.Model.exit_id b.Model.exit_id;
+      Alcotest.(check (list string)) "next" a.Model.next_ops b.Model.next_ops;
+      Alcotest.(check bool) "behavior language preserved" true
+        (Equiv.equivalent a.Model.behavior b.Model.behavior))
+    original.Model.exits loaded.Model.exits
+
+let test_model_usage_language_preserved () =
+  let m = roundtrip valve in
+  Alcotest.(check bool) "usage automata equivalent" true
+    (Language.equivalent (Depgraph.usage_nfa valve) (Depgraph.usage_nfa m))
+
+let test_model_expanded_language_preserved () =
+  let m = roundtrip bad_sector in
+  Alcotest.(check bool) "expanded automata equivalent" true
+    (Language.equivalent (Usage.expanded_nfa bad_sector) (Usage.expanded_nfa m))
+
+let test_model_verification_from_loaded () =
+  (* Verify BadSector against a *loaded* Valve model: separate verification. *)
+  let valve' = roundtrip valve in
+  let env name = if String.equal name "Valve" then Some valve' else None in
+  let reports = Usage.check ~env bad_sector in
+  Alcotest.(check bool) "same error found" true
+    (List.exists
+       (function
+         | Report.Invalid_subsystem_usage { counterexample; _ } ->
+           Trace.equal counterexample (tr [ "open_a"; "a.test"; "a.open" ])
+         | _ -> false)
+       reports)
+
+let test_model_save_load_file () =
+  let path = Filename.temp_file "shelley_model" ".shelley" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Model_io.save ~path valve;
+      match Model_io.load ~path with
+      | Ok m -> Alcotest.(check string) "loaded" "Valve" m.Model.name
+      | Error msg -> Alcotest.failf "load failed: %s" msg)
+
+let test_env_of_files () =
+  let p1 = Filename.temp_file "valve" ".shelley" in
+  let p2 = Filename.temp_file "sector" ".shelley" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove p1;
+      Sys.remove p2)
+    (fun () ->
+      Model_io.save ~path:p1 valve;
+      Model_io.save ~path:p2 bad_sector;
+      match Model_io.env_of_files [ p1; p2 ] with
+      | Ok env ->
+        Alcotest.(check bool) "valve found" true (env "Valve" <> None);
+        Alcotest.(check bool) "sector found" true (env "BadSector" <> None);
+        Alcotest.(check bool) "unknown absent" true (env "Nope" = None)
+      | Error msg -> Alcotest.failf "env_of_files failed: %s" msg)
+
+let test_model_io_rejects_garbage () =
+  List.iter
+    (fun bad ->
+      match Model_io.of_string bad with
+      | Ok _ -> Alcotest.failf "expected failure on %S" bad
+      | Error _ -> ())
+    [
+      "";
+      "(not-a-model)";
+      "(model (name X))";
+      "(model (name X) (line z) (kind base) (declared-subsystems) (subsystem-fields) (claims) (operations))";
+    ]
+
+let () =
+  Alcotest.run "model-io"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms" `Quick test_sexp_atoms;
+          Alcotest.test_case "lists" `Quick test_sexp_lists;
+          Alcotest.test_case "comments" `Quick test_sexp_comments_and_space;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          Alcotest.test_case "round-trip" `Quick test_sexp_roundtrip;
+          Alcotest.test_case "field helpers" `Quick test_sexp_fields;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "metadata round-trip" `Quick test_model_metadata_roundtrip;
+          Alcotest.test_case "exits round-trip" `Quick test_model_exits_roundtrip;
+          Alcotest.test_case "usage language preserved" `Quick
+            test_model_usage_language_preserved;
+          Alcotest.test_case "expanded language preserved" `Quick
+            test_model_expanded_language_preserved;
+          Alcotest.test_case "separate verification" `Quick test_model_verification_from_loaded;
+          Alcotest.test_case "save/load file" `Quick test_model_save_load_file;
+          Alcotest.test_case "env of files" `Quick test_env_of_files;
+          Alcotest.test_case "rejects garbage" `Quick test_model_io_rejects_garbage;
+        ] );
+    ]

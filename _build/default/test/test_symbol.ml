@@ -1,0 +1,106 @@
+open Testutil
+
+let test_intern_idempotent () =
+  let a1 = Symbol.intern "valve.open" in
+  let a2 = Symbol.intern "valve.open" in
+  Alcotest.(check bool) "same symbol" true (Symbol.equal a1 a2);
+  Alcotest.(check string) "round-trip" "valve.open" (Symbol.name a1)
+
+let test_distinct () =
+  let a = Symbol.intern "open" in
+  let b = Symbol.intern "close" in
+  Alcotest.(check bool) "distinct" false (Symbol.equal a b);
+  Alcotest.(check bool) "ordered consistently"
+    true
+    (Symbol.compare a b = -Symbol.compare b a)
+
+let test_scoped () =
+  let s = Symbol.scoped ~scope:"a" "test" in
+  Alcotest.(check string) "scoped name" "a.test" (Symbol.name s);
+  match Symbol.split_scope s with
+  | Some (scope, op) ->
+    Alcotest.(check string) "scope" "a" scope;
+    Alcotest.(check string) "op" "test" op
+  | None -> Alcotest.fail "expected a scope"
+
+let test_split_scope_none () =
+  Alcotest.(check bool) "unscoped" true (Symbol.split_scope (sym "open") = None)
+
+let test_split_scope_first_dot () =
+  match Symbol.split_scope (Symbol.intern "a.b.c") with
+  | Some (scope, op) ->
+    Alcotest.(check string) "scope" "a" scope;
+    Alcotest.(check string) "rest" "b.c" op
+  | None -> Alcotest.fail "expected a scope"
+
+let test_count_monotone () =
+  let before = Symbol.count () in
+  ignore (Symbol.intern "fresh.symbol.for.count.test");
+  Alcotest.(check bool) "count grew" true (Symbol.count () > before);
+  let again = Symbol.count () in
+  ignore (Symbol.intern "fresh.symbol.for.count.test");
+  Alcotest.(check int) "reintern does not grow" again (Symbol.count ())
+
+let test_many_symbols () =
+  (* Force the intern table to grow past its initial capacity. *)
+  let syms = List.init 600 (fun i -> Symbol.intern (Printf.sprintf "bulk_%d" i)) in
+  List.iteri
+    (fun i s ->
+      Alcotest.(check string) "bulk name" (Printf.sprintf "bulk_%d" i) (Symbol.name s))
+    syms
+
+let test_pp_set () =
+  let set = Symbol.Set.of_list [ sym "b"; sym "a"; sym "c" ] in
+  Alcotest.(check string) "sorted by name" "{a, b, c}" (Format.asprintf "%a" Symbol.pp_set set)
+
+(* --- Trace ----------------------------------------------------------------- *)
+
+let test_trace_order_by_length () =
+  Alcotest.(check bool) "shorter first" true (Trace.compare (tr [ "z" ]) (tr [ "a"; "a" ]) < 0)
+
+let test_trace_lex () =
+  Alcotest.(check bool)
+    "lexicographic at equal length" true
+    (Trace.compare (tr [ "a"; "b" ]) (tr [ "a"; "c" ]) < 0)
+
+let test_trace_append () =
+  Alcotest.check trace "concat" (tr [ "a"; "b"; "c" ])
+    (Trace.append (tr [ "a" ]) (tr [ "b"; "c" ]))
+
+let test_trace_pp () =
+  Alcotest.(check string)
+    "paper style" "a.test, a.open"
+    (Trace.to_string (tr [ "a.test"; "a.open" ]))
+
+let test_trace_roundtrip () =
+  let names = [ "x"; "y"; "z" ] in
+  Alcotest.(check (list string)) "names round-trip" names (Trace.to_names (tr names))
+
+let test_trace_set_min_is_shortest () =
+  let set = Trace.Set.of_list [ tr [ "b"; "b" ]; tr [ "c" ]; tr [ "a"; "a"; "a" ] ] in
+  Alcotest.check trace "min elt is shortest" (tr [ "c" ]) (Trace.Set.min_elt set)
+
+let () =
+  Alcotest.run "symbol"
+    [
+      ( "symbol",
+        [
+          Alcotest.test_case "intern idempotent" `Quick test_intern_idempotent;
+          Alcotest.test_case "distinct symbols" `Quick test_distinct;
+          Alcotest.test_case "scoped" `Quick test_scoped;
+          Alcotest.test_case "split_scope none" `Quick test_split_scope_none;
+          Alcotest.test_case "split_scope first dot" `Quick test_split_scope_first_dot;
+          Alcotest.test_case "count monotone" `Quick test_count_monotone;
+          Alcotest.test_case "many symbols" `Quick test_many_symbols;
+          Alcotest.test_case "pp_set" `Quick test_pp_set;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order by length" `Quick test_trace_order_by_length;
+          Alcotest.test_case "lexicographic" `Quick test_trace_lex;
+          Alcotest.test_case "append" `Quick test_trace_append;
+          Alcotest.test_case "pp" `Quick test_trace_pp;
+          Alcotest.test_case "round-trip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "set min is shortest" `Quick test_trace_set_min_is_shortest;
+        ] );
+    ]

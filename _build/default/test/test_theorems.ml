@@ -1,0 +1,165 @@
+(* The paper's theorems, replayed as bounded-exhaustive and property-based
+   tests. The semantics oracle (lfp trace enumeration) and the inference
+   (regex construction) are implemented independently; here they are forced
+   to agree.
+
+   Theorem 1 (Soundness):    l ∈ L(p) ⟹ l ∈ infer(p)
+   Theorem 2 (Completeness): l ∈ infer(p) ⟹ l ∈ L(p)
+   Corollary 1:              L(p) is regular (round-trips through automata) *)
+
+open Testutil
+
+let max_len = 4
+
+let bounded_language_of_infer p =
+  (* Enumerate L(infer p) over the *program's* alphabet: words can only use
+     symbols of the regex, so this is exact. *)
+  Enumerate.words_upto ~max_len (Infer.infer p)
+
+let bounded_semantics p = Semantics.behavior_upto ~max_len p
+
+let theorems_hold p =
+  Trace.Set.equal (bounded_language_of_infer p) (bounded_semantics p)
+
+let soundness_holds p =
+  Trace.Set.subset (bounded_semantics p) (bounded_language_of_infer p)
+
+let completeness_holds p =
+  Trace.Set.subset (bounded_language_of_infer p) (bounded_semantics p)
+
+(* Also split by status: ongoing traces must be in the ongoing component and
+   returned traces in the union of the returned component. This is the pair
+   (1)/(2) structure of the paper's proofs. *)
+let lemma_split_holds p =
+  let d = Infer.denote p in
+  let sem = Semantics.traces_upto ~max_len p in
+  let ongoing_ok =
+    Trace.Set.equal sem.Semantics.ongoing (Enumerate.words_upto ~max_len d.Infer.ongoing)
+  in
+  let returned_language =
+    List.fold_left
+      (fun acc r -> Trace.Set.union acc (Enumerate.words_upto ~max_len r))
+      Trace.Set.empty d.Infer.returned
+  in
+  let returned_ok = Trace.Set.equal sem.Semantics.returned returned_language in
+  ongoing_ok && returned_ok
+
+(* --- Bounded-exhaustive: every program up to size 4 over {a, b} -------------- *)
+
+let small_alphabet = [ sym "a"; sym "b" ]
+
+let test_exhaustive_small () =
+  let progs = Prog_gen.all_upto_size ~size:5 ~alphabet:small_alphabet in
+  Alcotest.(check bool) "non-trivial corpus" true (List.length progs > 500);
+  List.iter
+    (fun p ->
+      if not (theorems_hold p) then
+        Alcotest.failf "theorems fail on %s" (Prog.to_string p))
+    progs
+
+let test_exhaustive_small_split () =
+  let progs = Prog_gen.all_upto_size ~size:5 ~alphabet:small_alphabet in
+  List.iter
+    (fun p ->
+      if not (lemma_split_holds p) then
+        Alcotest.failf "status-split lemma fails on %s" (Prog.to_string p))
+    progs
+
+(* --- Named corpus --------------------------------------------------------------- *)
+
+let test_corpus () =
+  List.iter
+    (fun (name, p) ->
+      if not (theorems_hold p) then Alcotest.failf "theorems fail on corpus entry %s" name;
+      if not (lemma_split_holds p) then Alcotest.failf "split fails on corpus entry %s" name)
+    Ir_examples.corpus
+
+let test_paper_loop_language () =
+  (* The behavior of the paper's loop up to length 4. Note there is no
+     prefix-closure: a trace is either a completed non-returned run (an
+     (a·c)-alternation) or a returned run (ending in a·b). *)
+  let expected =
+    Trace.Set.of_list
+      [
+        [];
+        tr [ "a"; "b" ];
+        tr [ "a"; "c" ];
+        tr [ "a"; "c"; "a"; "b" ];
+        tr [ "a"; "c"; "a"; "c" ];
+      ]
+  in
+  Alcotest.check trace_set "language up to 4" expected
+    (bounded_semantics Ir_examples.paper_loop);
+  Alcotest.check trace_set "inference agrees" expected
+    (bounded_language_of_infer Ir_examples.paper_loop)
+
+(* --- Properties (random larger programs) ------------------------------------------ *)
+
+let prog_gen_large = prog_gen_over Prog_gen.default_alphabet
+
+let prop_soundness =
+  qtest "Theorem 1 (soundness)" ~count:300 prog_gen_large ~print:prog_print
+    soundness_holds
+
+let prop_completeness =
+  qtest "Theorem 2 (completeness)" ~count:300 prog_gen_large ~print:prog_print
+    completeness_holds
+
+let prop_split =
+  qtest "proof lemmas (1)/(2): status split" ~count:200 prog_gen_large ~print:prog_print
+    lemma_split_holds
+
+(* Corollary 1: L(p) is regular. We realize the regular language as an
+   automaton, minimize it, convert back to a regex, and require the bounded
+   language to survive every leg of the trip. *)
+let corollary_roundtrip p =
+  let r = Infer.infer p in
+  let sem = bounded_semantics p in
+  let nfa = Glushkov.of_regex r in
+  let dfa = Minimize.minimize (Determinize.determinize nfa) in
+  let back = State_elim.to_regex (Dfa.to_nfa dfa) in
+  Trace.Set.equal sem (Nfa.words_upto ~max_len nfa)
+  && Trace.Set.equal sem (Dfa.words_upto ~max_len dfa)
+  && Trace.Set.equal sem (Enumerate.words_upto_over ~alphabet:(Regex.alphabet r) ~max_len back)
+
+let prop_corollary =
+  qtest "Corollary 1 (regularity round-trip)" ~count:150 prog_gen_large ~print:prog_print
+    corollary_roundtrip
+
+let test_corollary_on_corpus () =
+  List.iter
+    (fun (name, p) ->
+      if not (corollary_roundtrip p) then Alcotest.failf "round-trip fails on %s" name)
+    Ir_examples.corpus
+
+(* The denotation refines the behavior: ongoing ∩ returned components need not
+   be disjoint as *languages* (two paths can emit the same trace), but every
+   returned regex must be included in infer(p). *)
+let prop_returned_included =
+  qtest "returned behaviors included in infer" ~count:200 prog_gen_large ~print:prog_print
+    (fun p ->
+      let d = Infer.denote p in
+      let whole = Infer.infer p in
+      List.for_all (fun r -> Equiv.included r whole) (Regex.empty :: d.Infer.returned)
+      && Equiv.included d.Infer.ongoing whole)
+
+let () =
+  Alcotest.run "theorems"
+    [
+      ( "bounded-exhaustive",
+        [
+          Alcotest.test_case "all programs ≤ size 4" `Slow test_exhaustive_small;
+          Alcotest.test_case "status split ≤ size 4" `Slow test_exhaustive_small_split;
+          Alcotest.test_case "named corpus" `Quick test_corpus;
+          Alcotest.test_case "paper loop language" `Quick test_paper_loop_language;
+          Alcotest.test_case "corollary on corpus" `Quick test_corollary_on_corpus;
+        ] );
+      ( "property-based",
+        [
+          prop_soundness;
+          prop_completeness;
+          prop_split;
+          prop_corollary;
+          prop_returned_included;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+(* Shared generators and helpers for the test executables. *)
+
+let sym name = Symbol.intern name
+let tr names = Trace.of_names names
+
+(* --- QCheck generator for regexes ---------------------------------------- *)
+
+let regex_gen_over alphabet : Regex.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        return Regex.empty;
+        return Regex.eps;
+        map Regex.sym (oneofl alphabet);
+      ]
+  in
+  let rec tree n =
+    if n <= 1 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 Regex.seq (tree (n / 2)) (tree (n / 2));
+          map2 Regex.alt (tree (n / 2)) (tree (n / 2));
+          map Regex.star (tree (n - 1));
+        ]
+  in
+  (* Cap the size: language-level checks are exponential in expression size,
+     and small expressions already cover every constructor interaction. *)
+  int_range 1 16 >>= tree
+
+let default_regex_gen = regex_gen_over Prog_gen.default_alphabet
+
+let regex_print r = Regex.to_string r
+
+let rec regex_shrink (r : Regex.t) : Regex.t Seq.t =
+  match r with
+  | Empty -> Seq.empty
+  | Eps | Sym _ -> Seq.return Regex.empty
+  | Seq (a, b) | Alt (a, b) ->
+    Seq.append (Seq.cons a (Seq.cons b Seq.empty))
+      (Seq.append
+         (Seq.map (fun a' -> Regex.seq a' b) (regex_shrink a))
+         (Seq.map (fun b' -> Regex.seq a b') (regex_shrink b)))
+  | Star a -> Seq.cons a (Seq.map Regex.star (regex_shrink a))
+
+(* --- QCheck generator for IR programs ------------------------------------- *)
+
+let prog_gen_over alphabet : Prog.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let leaf =
+    oneof
+      [
+        map Prog.call (oneofl alphabet);
+        return Prog.skip;
+        return Prog.return;
+      ]
+  in
+  let rec tree n =
+    if n <= 1 then leaf
+    else
+      oneof
+        [
+          leaf;
+          map2 Prog.seq (tree (n / 2)) (tree (n / 2));
+          map2 Prog.if_ (tree (n / 2)) (tree (n / 2));
+          map Prog.loop (tree (n - 1));
+        ]
+  in
+  int_range 1 20 >>= tree
+
+let default_prog_gen = prog_gen_over Prog_gen.default_alphabet
+let prog_print p = Prog.to_string p
+let prog_shrink p = List.to_seq (Prog_gen.shrink p)
+
+(* --- Alcotest helpers ------------------------------------------------------ *)
+
+let trace_set = Alcotest.testable Trace.pp_set Trace.Set.equal
+let trace = Alcotest.testable Trace.pp Trace.equal
+let regex = Alcotest.testable Regex.pp Regex.equal
+
+let qtest ?(count = 200) name gen ~print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+(* Restrict trace-set to words over an alphabet bound — used when comparing
+   enumerations computed over different alphabets. *)
+let words_of_nfa_upto = Nfa.words_upto
+
+(* Substring check for report-message assertions. *)
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
