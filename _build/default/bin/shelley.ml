@@ -7,7 +7,13 @@
      shelley viz    FILE [-c CLASS]    DOT diagram (--deps for the §3.1 graph)
      shelley nusmv  FILE -c CLASS      NuSMV translation
      shelley trace  FILE -c CLASS TR   check an operation trace against a model
-     shelley infer  EXPR               behavior inference of an IR program *)
+     shelley infer  EXPR               behavior inference of an IR program
+
+   Exit codes of 'shelley check' (the max across all FILEs):
+     0  every file verified
+     1  a verification failure (usage / claim / invocation / structural)
+     2  a file could not be read or parsed cleanly
+     3  a resource budget was exceeded (see --max-states / --fuel) *)
 
 open Cmdliner
 
@@ -17,10 +23,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Strict load, for the single-file inspection subcommands (model, viz, …):
+   an unreadable or syntactically broken file is a hard error. 'check' has
+   its own tolerant loop below. *)
 let load ?extra_env path =
-  match Pipeline.verify_source ?extra_env (read_file path) with
-  | Ok result -> Ok result
-  | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | source -> (
+    let result = Pipeline.verify_source ?extra_env source in
+    match List.filter Report.is_syntax_error result.Pipeline.reports with
+    | [] -> Ok result
+    | d :: _ -> Error (Printf.sprintf "%s: %s" path (Report.to_string d)))
 
 let select_models result = function
   | None -> Ok result.Pipeline.models
@@ -42,7 +55,12 @@ let or_die = function
 (* --- check ----------------------------------------------------------------- *)
 
 let check_cmd =
-  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  (* Deliberately [string], not [file]: cmdliner's [file] converter rejects a
+     missing path during argument parsing (exit 124), aborting the whole run
+     before any file is checked. 'check' promises per-file isolation, so an
+     unreadable path must be reported in the loop (exit 2) with the other
+     files still verified. *)
+  let files = Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE") in
   let warnings =
     Arg.(value & flag & info [ "warnings"; "w" ] ~doc:"Also print warnings and infos.")
   in
@@ -59,7 +77,25 @@ let check_cmd =
           ~doc:"Pre-verified .shelley model files resolving substrate classes \
                 not defined in the sources (separate verification). Repeatable.")
   in
-  let run files warnings explain using =
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Budget for automaton states (determinization, progression, \
+                tableau). Exceeding it reports RESOURCE LIMIT EXCEEDED for \
+                the affected check and exits 3.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Budget for product configurations explored by the language \
+                checks. Exceeding it reports RESOURCE LIMIT EXCEEDED for the \
+                affected check and exits 3.")
+  in
+  let run files warnings explain using max_states fuel =
     let extra_env =
       match Model_io.env_of_files using with
       | Ok env -> env
@@ -67,10 +103,24 @@ let check_cmd =
         prerr_endline msg;
         exit 2
     in
-    let failed = ref false in
-    List.iter
-      (fun path ->
-        let result = or_die (load ~extra_env path) in
+    let limits =
+      let d = Limits.default in
+      Limits.make
+        ~max_states:(Option.value max_states ~default:d.Limits.max_states)
+        ~max_configs:(Option.value fuel ~default:d.Limits.max_configs)
+        ()
+    in
+    (* One file never aborts the others: each gets its own exit code
+       (0 verified, 1 verification failure, 2 unreadable/syntax error,
+       3 resource limit) and the process exits with the maximum. *)
+    let code_of_file path =
+      match read_file path with
+      | exception Sys_error msg ->
+        Format.printf "== %s ==@." path;
+        Format.printf "Error: cannot read file: %s@.@." msg;
+        2
+      | source ->
+        let result = Pipeline.verify_source ~extra_env ~limits source in
         let reports =
           if warnings then result.Pipeline.reports
           else Report.errors result.Pipeline.reports
@@ -89,13 +139,24 @@ let check_cmd =
                   result.Pipeline.models)
             reports
         end;
-        if not (Pipeline.verified result) then failed := true)
-      files;
-    if !failed then exit 1 else print_endline "OK: specification verified"
+        if List.exists Report.is_resource_limit result.Pipeline.reports then 3
+        else if List.exists Report.is_syntax_error result.Pipeline.reports then 2
+        else if not (Pipeline.verified result) then 1
+        else 0
+    in
+    let code = List.fold_left (fun acc path -> max acc (code_of_file path)) 0 files in
+    if code = 0 then print_endline "OK: specification verified" else exit code
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Verify annotated MicroPython sources.")
-    Term.(const run $ files $ warnings $ explain $ using)
+    (Cmd.info "check" ~doc:"Verify annotated MicroPython sources."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"every file verified.";
+           Cmd.Exit.info 1 ~doc:"a verification failure was reported.";
+           Cmd.Exit.info 2 ~doc:"a file could not be read or parsed cleanly.";
+           Cmd.Exit.info 3 ~doc:"a resource budget was exceeded.";
+         ])
+    Term.(const run $ files $ warnings $ explain $ using $ max_states $ fuel)
 
 (* --- model ----------------------------------------------------------------- *)
 

@@ -145,9 +145,7 @@ class Greenhouse:
 let () =
   print_endline "=== greenhouse: a three-level verified hierarchy ===\n";
   let result =
-    match Pipeline.verify_source source with
-    | Ok result -> result
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn source
   in
   (match Report.errors result.Pipeline.reports with
   | [] -> print_endline "verified: all six classes, all three claims\n"

@@ -1,1 +1,1 @@
-lib/automata/determinize.ml: Array Dfa Fun Hashtbl List Map Nfa Queue States Symbol
+lib/automata/determinize.ml: Array Dfa Fun Hashtbl Limits List Map Nfa Printf Queue States Symbol

@@ -1,1 +1,1 @@
-lib/automata/determinize.mli: Dfa Nfa Symbol
+lib/automata/determinize.mli: Dfa Limits Nfa Symbol

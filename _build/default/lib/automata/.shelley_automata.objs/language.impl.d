@@ -1,1 +1,1 @@
-lib/automata/language.ml: Array Fun Hashtbl List Nfa Option Queue Set States Symbol
+lib/automata/language.ml: Array Fun Hashtbl Limits List Nfa Option Queue Set States Symbol

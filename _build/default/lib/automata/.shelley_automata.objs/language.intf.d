@@ -1,1 +1,1 @@
-lib/automata/language.mli: Nfa Symbol Trace
+lib/automata/language.mli: Limits Nfa Symbol Trace

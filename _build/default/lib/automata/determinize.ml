@@ -1,12 +1,13 @@
 module Config_map = Map.Make (States.Set)
 
-let determinize ?alphabet nfa =
+let determinize ?(limits = Limits.default) ?alphabet nfa =
   let alphabet =
     match alphabet with
     | Some syms -> List.sort_uniq Symbol.compare syms
     | None -> Symbol.Set.elements (Nfa.alphabet nfa)
   in
   (* Discover all reachable ε-closed configurations, numbering them densely. *)
+  let budget = Limits.fuel ~resource:"determinization states" limits.Limits.max_states in
   let index = ref Config_map.empty in
   let configs = ref [] in
   let count = ref 0 in
@@ -15,6 +16,7 @@ let determinize ?alphabet nfa =
     match Config_map.find_opt config !index with
     | Some i -> i
     | None ->
+      Limits.spend budget;
       let i = !count in
       incr count;
       index := Config_map.add config i !index;
@@ -46,4 +48,9 @@ let determinize ?alphabet nfa =
   Dfa.create ~alphabet ~num_states:!count ~start:start_id ~accept ~next:(fun q sym ->
       match Hashtbl.find_opt edges (q, sym) with
       | Some q' -> q'
-      | None -> assert false)
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Determinize.determinize: no transition from state %d on symbol '%s' \
+              (symbol outside the DFA alphabet?)"
+             q (Symbol.name sym)))

@@ -11,17 +11,21 @@ module Pair_set = Set.Make (Pair)
 (* BFS over pairs of ε-closed configurations of two NFAs run in lockstep;
    [bad] spots a distinguishing pair, and breadth-first order makes the
    witness shortest. *)
-let find_witness ?alphabet ~bad n1 n2 =
+let find_witness ?(limits = Limits.default) ?alphabet ~bad n1 n2 =
   let alphabet =
     match alphabet with
     | Some set -> set
     | None -> Symbol.Set.union (Nfa.alphabet n1) (Nfa.alphabet n2)
   in
   let syms = Symbol.Set.elements alphabet in
+  let budget =
+    Limits.fuel ~resource:"language-product configurations" limits.Limits.max_configs
+  in
   let seen = ref Pair_set.empty in
   let queue = Queue.create () in
   let push pair rev_path =
     if not (Pair_set.mem pair !seen) then begin
+      Limits.spend budget;
       seen := Pair_set.add pair !seen;
       Queue.add (pair, rev_path) queue
     end
@@ -42,22 +46,25 @@ let find_witness ?alphabet ~bad n1 n2 =
   in
   loop ()
 
-let inclusion_counterexample ?alphabet ~impl ~spec () =
-  find_witness ?alphabet ~bad:(fun a b -> a && not b) impl spec
+let inclusion_counterexample ?limits ?alphabet ~impl ~spec () =
+  find_witness ?limits ?alphabet ~bad:(fun a b -> a && not b) impl spec
 
-let included ?alphabet ~impl ~spec () =
-  Option.is_none (inclusion_counterexample ?alphabet ~impl ~spec ())
+let included ?limits ?alphabet ~impl ~spec () =
+  Option.is_none (inclusion_counterexample ?limits ?alphabet ~impl ~spec ())
 
-let equivalence_counterexample n1 n2 =
-  find_witness ~bad:(fun a b -> a <> b) n1 n2
+let equivalence_counterexample ?limits n1 n2 =
+  find_witness ?limits ~bad:(fun a b -> a <> b) n1 n2
 
-let equivalent n1 n2 = Option.is_none (equivalence_counterexample n1 n2)
+let equivalent ?limits n1 n2 = Option.is_none (equivalence_counterexample ?limits n1 n2)
 
-let intersect n1 n2 =
+let intersect ?(limits = Limits.default) n1 n2 =
   (* Explore reachable configuration pairs, interning each as a product
      state; the result is ε-free by construction. *)
   let alphabet = Symbol.Set.inter (Nfa.alphabet n1) (Nfa.alphabet n2) in
   let syms = Symbol.Set.elements alphabet in
+  let budget =
+    Limits.fuel ~resource:"intersection-product configurations" limits.Limits.max_configs
+  in
   let index = Hashtbl.create 64 in
   let order = ref [] in
   let count = ref 0 in
@@ -66,6 +73,7 @@ let intersect n1 n2 =
     match Hashtbl.find_opt index pair with
     | Some i -> i
     | None ->
+      Limits.spend budget;
       let i = !count in
       incr count;
       Hashtbl.add index pair i;

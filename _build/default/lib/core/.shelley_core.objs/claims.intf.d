@@ -1,1 +1,1 @@
-lib/core/claims.mli: Ltlf Model Nfa Report
+lib/core/claims.mli: Limits Ltlf Model Nfa Report

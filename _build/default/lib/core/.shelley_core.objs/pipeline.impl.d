@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: Claims Extract Invocation List Model Mpy_ast Mpy_lexer Mpy_parser Printf Refine Report String Usage Validate
+lib/core/pipeline.ml: Claims Extract Invocation Limits List Model Mpy_ast Mpy_parser Printexc Refine Report String Usage Validate

@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Model Mpy_ast Report Result Usage
+lib/core/pipeline.mli: Limits Model Mpy_ast Report Usage

@@ -1,1 +1,1 @@
-lib/core/refine.mli: Model Mpy_ast Report Trace Usage
+lib/core/refine.mli: Limits Model Mpy_ast Report Trace Usage

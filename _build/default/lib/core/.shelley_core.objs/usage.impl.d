@@ -1,1 +1,1 @@
-lib/core/usage.ml: Depgraph Extract Glushkov Hashtbl Language List Model Mpy_lower Nfa Printf Regex Report States String Symbol
+lib/core/usage.ml: Depgraph Extract Glushkov Hashtbl Language Limits List Model Mpy_lower Nfa Printf Regex Report States String Symbol

@@ -1,1 +1,1 @@
-lib/core/usage.mli: Model Nfa Report Trace
+lib/core/usage.mli: Limits Model Nfa Report Trace

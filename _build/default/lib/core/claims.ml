@@ -1,12 +1,12 @@
-let subsystem_call_nfa (model : Model.t) =
-  let expanded = Usage.expanded_nfa model in
+let subsystem_call_nfa ?limits (model : Model.t) =
+  let expanded = Usage.expanded_nfa ?limits model in
   Nfa.map_symbols
     (fun sym -> if Symbol.split_scope sym <> None then Some sym else None)
     expanded
 
-let check_claim (model : Model.t) (text, formula) =
-  let impl = subsystem_call_nfa model in
-  match Ltl_check.check ~impl formula with
+let check_claim ?limits (model : Model.t) (text, formula) =
+  let impl = subsystem_call_nfa ?limits model in
+  match Ltl_check.check ?limits ~impl formula with
   | Ok () -> None
   | Error violation ->
     Some
@@ -17,4 +17,5 @@ let check_claim (model : Model.t) (text, formula) =
            counterexample = violation.Ltl_check.counterexample;
          })
 
-let check (model : Model.t) = List.filter_map (check_claim model) model.Model.claims
+let check ?limits (model : Model.t) =
+  List.filter_map (check_claim ?limits model) model.Model.claims

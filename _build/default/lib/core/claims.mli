@@ -5,11 +5,11 @@
     can produce — the expanded automaton's language with operation-entry
     events erased. *)
 
-val subsystem_call_nfa : Model.t -> Nfa.t
+val subsystem_call_nfa : ?limits:Limits.t -> Model.t -> Nfa.t
 (** {!Usage.expanded_nfa} projected onto subsystem-call events. *)
 
-val check_claim : Model.t -> string * Ltlf.t -> Report.t option
+val check_claim : ?limits:Limits.t -> Model.t -> string * Ltlf.t -> Report.t option
 (** [None] when the claim holds on all traces. *)
 
-val check : Model.t -> Report.t list
+val check : ?limits:Limits.t -> Model.t -> Report.t list
 (** All claims of the class, in declaration order. *)

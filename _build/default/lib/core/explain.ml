@@ -50,7 +50,8 @@ let of_report ~model (report : Report.t) =
       { class_name; field; subsystem_class; counterexample; failure; _ }
     when String.equal class_name model.Model.name ->
     Some (of_usage_error ~model ~field ~subsystem_class ~counterexample ~failure)
-  | Report.Invalid_subsystem_usage _ | Report.Requirement_failure _ | Report.Structural _ ->
+  | Report.Invalid_subsystem_usage _ | Report.Requirement_failure _ | Report.Structural _
+  | Report.Syntax_error _ | Report.Resource_limit _ | Report.Internal_error _ ->
     None
 
 let pp fmt t =

@@ -8,9 +8,48 @@ let env_of result name =
 
 let find_model = env_of
 
-let verify_program ?(extra_env = fun _ -> None) (program : Mpy_ast.program) =
-  let extractions = List.map Extract.extract_class program.Mpy_ast.prog_classes in
-  let models = List.map (fun (e : Extract.result) -> e.Extract.model) extractions in
+(* Exception barrier around one check of one class: a blown budget or an
+   unexpected exception becomes a report, and every other check still runs. *)
+let guard ~class_name ~check f =
+  match f () with
+  | reports -> reports
+  | exception Limits.Budget_exceeded { resource; limit } ->
+    [ Report.Resource_limit { class_name; check; resource; limit } ]
+  | exception exn ->
+    [ Report.Internal_error { class_name; check; message = Printexc.to_string exn } ]
+
+let verify_program ?(extra_env = fun _ -> None) ?(limits = Limits.default)
+    (program : Mpy_ast.program) =
+  let extractions =
+    List.map
+      (fun (cls : Mpy_ast.class_def) ->
+        match Extract.extract_class cls with
+        | extraction -> (cls, Ok extraction)
+        | exception Limits.Budget_exceeded { resource; limit } ->
+          ( cls,
+            Error
+              (Report.Resource_limit
+                 { class_name = cls.Mpy_ast.cls_name; check = "extract"; resource; limit })
+          )
+        | exception exn ->
+          ( cls,
+            Error
+              (Report.Internal_error
+                 {
+                   class_name = cls.Mpy_ast.cls_name;
+                   check = "extract";
+                   message = Printexc.to_string exn;
+                 }) ))
+      program.Mpy_ast.prog_classes
+  in
+  let models =
+    List.filter_map
+      (fun (_, ext) ->
+        match ext with
+        | Ok (e : Extract.result) -> Some e.Extract.model
+        | Error _ -> None)
+      extractions
+  in
   let env name =
     match List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) models with
     | Some _ as found -> found
@@ -18,26 +57,36 @@ let verify_program ?(extra_env = fun _ -> None) (program : Mpy_ast.program) =
   in
   let reports =
     List.concat_map
-      (fun ((extraction : Extract.result), (cls : Mpy_ast.class_def)) ->
-        let model = extraction.Extract.model in
-        extraction.Extract.diagnostics
-        @ Validate.check model
-        @ Usage.check ~env model
-        @ Claims.check model
-        @ Invocation.check ~env ~model cls
-        @ Refine.check_inheritance ~env cls model)
-      (List.combine extractions program.Mpy_ast.prog_classes)
+      (fun ((cls : Mpy_ast.class_def), ext) ->
+        match ext with
+        | Error report -> [ report ]
+        | Ok (extraction : Extract.result) ->
+          let model = extraction.Extract.model in
+          let class_name = model.Model.name in
+          let run check f = guard ~class_name ~check f in
+          extraction.Extract.diagnostics
+          @ run "validate" (fun () -> Validate.check model)
+          @ run "usage" (fun () -> Usage.check ~limits ~env model)
+          @ run "claims" (fun () -> Claims.check ~limits model)
+          @ run "invocation" (fun () -> Invocation.check ~env ~model cls)
+          @ run "refine" (fun () -> Refine.check_inheritance ~limits ~env cls model))
+      extractions
   in
   { models; reports }
 
-let verify_source ?extra_env source =
-  match Mpy_parser.parse_program source with
-  | program -> Ok (verify_program ?extra_env program)
-  | exception Mpy_parser.Parse_error (msg, line, col) ->
-    Error (Printf.sprintf "syntax error at line %d, col %d: %s" line col msg)
-  | exception Mpy_lexer.Lex_error (msg, line, col) ->
-    Error (Printf.sprintf "lexical error at line %d, col %d: %s" line col msg)
+let verify_source ?extra_env ?limits source =
+  let program, diagnostics = Mpy_parser.parse_program_tolerant source in
+  let result = verify_program ?extra_env ?limits program in
+  let syntax_reports =
+    List.map
+      (fun (d : Mpy_parser.diagnostic) ->
+        Report.syntax_error ~line:d.Mpy_parser.diag_line ~col:d.Mpy_parser.diag_col
+          d.Mpy_parser.diag_message)
+      diagnostics
+  in
+  { result with reports = syntax_reports @ result.reports }
 
-let verify_source_exn ?extra_env source =
-  verify_program ?extra_env (Mpy_parser.parse_program source)
+let verify_source_exn ?extra_env ?limits source =
+  verify_program ?extra_env ?limits (Mpy_parser.parse_program source)
+
 let verified result = Report.errors result.reports = []

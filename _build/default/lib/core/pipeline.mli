@@ -4,23 +4,37 @@
     composites that use them) → validate structure → check subsystem usage →
     check temporal claims → run invocation analysis. All findings are
     returned as {!Report.t} values; {!verified} is the paper's notion of a
-    program passing verification (no [Error]-severity reports). *)
+    program passing verification (no [Error]-severity reports).
+
+    {b Fault isolation}: every per-class check runs behind an exception
+    barrier. A check that exhausts its {!Limits.t} budget yields a
+    {!Report.Resource_limit} report; one that raises anything else yields a
+    {!Report.Internal_error} report. In both cases the remaining checks and
+    classes still run — no exception escapes {!verify_program}. *)
 
 type result = {
   models : Model.t list;  (** extraction results, in source order *)
   reports : Report.t list;
 }
 
-val verify_program : ?extra_env:Usage.env -> Mpy_ast.program -> result
+val verify_program : ?extra_env:Usage.env -> ?limits:Limits.t -> Mpy_ast.program -> result
 (** [extra_env] resolves class names not defined in the program itself —
     typically models loaded from [.shelley] files ({!Model_io.env_of_files})
-    for separate verification. Local definitions shadow it. *)
+    for separate verification. Local definitions shadow it.
 
-val verify_source : ?extra_env:Usage.env -> string -> (result, string) Result.t
-(** Parse and verify; [Error message] on lexical or syntax errors. *)
+    [limits] bounds the automata-theoretic checks (defaults to
+    {!Limits.default}); a blown budget surfaces as a
+    {!Report.Resource_limit} report, never as an exception. *)
 
-val verify_source_exn : ?extra_env:Usage.env -> string -> result
-(** @raise Mpy_parser.Parse_error / Mpy_lexer.Lex_error on bad input. *)
+val verify_source : ?extra_env:Usage.env -> ?limits:Limits.t -> string -> result
+(** Parse with {!Mpy_parser.parse_program_tolerant} and verify whatever
+    parsed. Lexical/syntax errors become {!Report.Syntax_error} reports
+    (prepended, in source order); the well-formed classes are still fully
+    verified. Never raises. *)
+
+val verify_source_exn : ?extra_env:Usage.env -> ?limits:Limits.t -> string -> result
+(** Strict variant: parse with {!Mpy_parser.parse_program}.
+    @raise Mpy_parser.Parse_error / Mpy_lexer.Lex_error on bad input. *)
 
 val verified : result -> bool
 (** No error-severity report. *)

@@ -27,19 +27,53 @@ type t =
       severity : severity;
       message : string;
     }
+  | Syntax_error of {
+      line : int;
+      col : int;
+      message : string;
+    }
+  | Resource_limit of {
+      class_name : string;
+      check : string;
+      resource : string;
+      limit : int;
+    }
+  | Internal_error of {
+      class_name : string;
+      check : string;
+      message : string;
+    }
 
 let severity = function
   | Invalid_subsystem_usage _ | Requirement_failure _ -> Error
   | Structural { severity; _ } -> severity
+  | Syntax_error _ | Resource_limit _ | Internal_error _ -> Error
 
 let class_name = function
   | Invalid_subsystem_usage { class_name; _ }
   | Requirement_failure { class_name; _ }
-  | Structural { class_name; _ } ->
+  | Structural { class_name; _ }
+  | Resource_limit { class_name; _ }
+  | Internal_error { class_name; _ } ->
     class_name
+  | Syntax_error _ -> "<source>"
 
 let structural ?line severity ~class_name message =
   Structural { class_name; line; severity; message }
+
+let syntax_error ~line ~col message = Syntax_error { line; col; message }
+
+let is_syntax_error = function
+  | Syntax_error _ -> true
+  | Invalid_subsystem_usage _ | Requirement_failure _ | Structural _ | Resource_limit _
+  | Internal_error _ ->
+    false
+
+let is_resource_limit = function
+  | Resource_limit _ -> true
+  | Invalid_subsystem_usage _ | Requirement_failure _ | Structural _ | Syntax_error _
+  | Internal_error _ ->
+    false
 
 let pp_severity fmt = function
   | Error -> Format.pp_print_string fmt "Error"
@@ -85,6 +119,22 @@ let pp fmt = function
       | Some l -> Printf.sprintf " (line %d)" l
       | None -> "")
       r.message
+  | Syntax_error r ->
+    Format.fprintf fmt "Error: syntax error at line %d, col %d: %s" r.line r.col r.message
+  | Resource_limit r ->
+    Format.fprintf fmt
+      "@[<v>Error in verification: RESOURCE LIMIT EXCEEDED@,\
+       Class: %s@,\
+       Check: %s (skipped; other checks still ran)@,\
+       Budget: %s (limit %d)@]"
+      r.class_name r.check r.resource r.limit
+  | Internal_error r ->
+    Format.fprintf fmt
+      "@[<v>Error in verification: INTERNAL CHECK FAILURE@,\
+       Class: %s@,\
+       Check: %s (skipped; other checks still ran)@,\
+       Failure: %s@]"
+      r.class_name r.check r.message
 
 let to_string t = Format.asprintf "%a" pp t
 

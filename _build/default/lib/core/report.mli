@@ -34,11 +34,44 @@ type t =
       severity : severity;
       message : string;
     }
+  | Syntax_error of {
+      line : int;
+      col : int;
+      message : string;
+    }
+      (** A lexical or syntax error recovered by the tolerant parser; the
+          rest of the file was still analyzed. *)
+  | Resource_limit of {
+      class_name : string;
+      check : string;  (** which pipeline check was cut short, e.g. ["usage"] *)
+      resource : string;  (** which budget ran out, e.g. ["progression obligations"] *)
+      limit : int;
+    }
+      (** A check exceeded its {!Limits.t} budget and was skipped; every
+          other check still ran. *)
+  | Internal_error of {
+      class_name : string;
+      check : string;
+      message : string;
+    }
+      (** A check raised an unexpected exception; it was skipped and every
+          other check still ran. *)
 
 val severity : t -> severity
+(** [Syntax_error], [Resource_limit] and [Internal_error] are [Error]s:
+    verification did not complete, so the program cannot be claimed
+    verified. *)
+
 val class_name : t -> string
+(** ["<source>"] for [Syntax_error] (no class context). *)
 
 val structural : ?line:int -> severity -> class_name:string -> string -> t
+
+val syntax_error : line:int -> col:int -> string -> t
+
+val is_syntax_error : t -> bool
+
+val is_resource_limit : t -> bool
 
 val pp : Format.formatter -> t -> unit
 (** Paper-style rendering, e.g.

@@ -27,7 +27,7 @@ let marked_behavior_regex (op : Model.operation) =
   in
   Regex.alt_list (explicit_res @ implicit_res)
 
-let expanded_nfa (model : Model.t) =
+let expanded_nfa ?(limits = Limits.default) (model : Model.t) =
   (* Boundary states: 0 = start; one per (operation, exit). *)
   let boundary = Hashtbl.create 16 in
   let next_state = ref 1 in
@@ -48,7 +48,10 @@ let expanded_nfa (model : Model.t) =
   (* op name -> list of embedded start states *)
   List.iter
     (fun (op : Model.operation) ->
-      let body_nfa = Glushkov.of_regex (marked_behavior_regex op) in
+      let behavior = marked_behavior_regex op in
+      Limits.check ~resource:"behavior regex size" ~limit:limits.Limits.max_regex_size
+        (Regex.size behavior);
+      let body_nfa = Glushkov.of_regex behavior in
       let offset = !next_state in
       next_state := !next_state + Nfa.num_states body_nfa;
       Hashtbl.add entry_points op.op_name
@@ -131,11 +134,11 @@ let diagnose_failure sub_model projected =
   in
   walk (Nfa.initial_config nfa) projected
 
-let check_subsystem ~env (model : Model.t) ~field ~subsystem_class =
+let check_subsystem ?limits ~env (model : Model.t) ~field ~subsystem_class =
   match env subsystem_class with
   | None -> None
   | Some sub_model -> (
-    let impl = expanded_nfa model in
+    let impl = expanded_nfa ?limits model in
     let spec =
       match subsystem_spec_nfa ~env ~field ~subsystem_class with
       | Some s -> s
@@ -151,7 +154,7 @@ let check_subsystem ~env (model : Model.t) ~field ~subsystem_class =
         alphabet
     in
     let lifted_spec = Nfa.add_self_loops non_field_symbols spec in
-    match Language.inclusion_counterexample ~alphabet ~impl ~spec:lifted_spec () with
+    match Language.inclusion_counterexample ?limits ~alphabet ~impl ~spec:lifted_spec () with
     | None -> None
     | Some counterexample ->
       let projected = project_subsystem ~field counterexample in
@@ -167,7 +170,7 @@ let check_subsystem ~env (model : Model.t) ~field ~subsystem_class =
              failure;
            }))
 
-let check ~env (model : Model.t) =
+let check ?limits ~env (model : Model.t) =
   match model.Model.kind with
   | `Base -> []
   | `Composite ->
@@ -187,5 +190,5 @@ let check ~env (model : Model.t) =
               (Report.structural ~line:model.Model.line Report.Error
                  ~class_name:model.Model.name
                  (Printf.sprintf "subsystem '%s' has unknown class %s" field subsystem_class))
-          | Some _ -> check_subsystem ~env model ~field ~subsystem_class))
+          | Some _ -> check_subsystem ?limits ~env model ~field ~subsystem_class))
       model.Model.declared_subsystems

@@ -1,0 +1,40 @@
+type t = {
+  max_states : int;
+  max_configs : int;
+  max_regex_size : int;
+}
+
+exception Budget_exceeded of { resource : string; limit : int }
+
+let () =
+  Printexc.register_printer (function
+    | Budget_exceeded { resource; limit } ->
+      Some (Printf.sprintf "Limits.Budget_exceeded(%s, limit %d)" resource limit)
+    | _ -> None)
+
+let default = { max_states = 50_000; max_configs = 1_000_000; max_regex_size = 500_000 }
+let unlimited = { max_states = max_int; max_configs = max_int; max_regex_size = max_int }
+
+let make ?(max_states = default.max_states) ?(max_configs = default.max_configs)
+    ?(max_regex_size = default.max_regex_size) () =
+  { max_states; max_configs; max_regex_size }
+
+let exceeded ~resource ~limit = raise (Budget_exceeded { resource; limit })
+let check ~resource ~limit n = if n > limit then exceeded ~resource ~limit
+
+type fuel = {
+  mutable remaining : int;
+  resource : string;
+  limit : int;
+}
+
+let fuel ~resource limit = { remaining = limit; resource; limit }
+
+let spend f =
+  if f.remaining <= 0 then exceeded ~resource:f.resource ~limit:f.limit;
+  f.remaining <- f.remaining - 1
+
+let describe = function
+  | Budget_exceeded { resource; limit } ->
+    Some (Printf.sprintf "%s budget exceeded (limit %d)" resource limit)
+  | _ -> None

@@ -1,0 +1,65 @@
+(** Deterministic resource budgets for the analysis constructions.
+
+    Every automaton construction in the pipeline — subset construction,
+    on-the-fly language products, LTLf progression — can blow up
+    exponentially on adversarial input. A budget turns that blowup into a
+    typed, catchable {!Budget_exceeded} instead of an apparent hang or an
+    out-of-memory kill. Budgets are *fuel counters* (counts of discovered
+    states / explored configurations / regex nodes), not wall-clock
+    timeouts, so exhaustion is deterministic and reproducible.
+
+    The pipeline ({!Pipeline.verify_program}) runs every check behind an
+    exception barrier that converts [Budget_exceeded] into a structured
+    [Resource_limit] report, so one pathological check degrades gracefully
+    while the others still run. *)
+
+type t = {
+  max_states : int;
+      (** Cap on discovered automaton states: subset-construction
+          configurations in {!Determinize.determinize} and progression
+          obligations in {!Progression.to_dfa}. *)
+  max_configs : int;
+      (** Cap on explored product configurations in language comparisons
+          ({!Language.inclusion_counterexample}, {!Language.intersect}). *)
+  max_regex_size : int;
+      (** Cap on the AST size of behavior regexes fed to automaton
+          constructions (guards Glushkov blowup in {!Usage.expanded_nfa}). *)
+}
+
+exception Budget_exceeded of { resource : string; limit : int }
+(** [resource] names what ran out (e.g. ["determinization states"]);
+    [limit] is the configured cap. *)
+
+val default : t
+(** [max_states = 50_000], [max_configs = 1_000_000],
+    [max_regex_size = 500_000] — far above anything a realistic model
+    needs, low enough to bound runaway constructions within seconds. *)
+
+val unlimited : t
+(** Every field [max_int]; opt out of budgeting entirely. *)
+
+val make :
+  ?max_states:int -> ?max_configs:int -> ?max_regex_size:int -> unit -> t
+(** Missing fields default to {!default}'s values. *)
+
+val exceeded : resource:string -> limit:int -> 'a
+(** @raise Budget_exceeded always. *)
+
+val check : resource:string -> limit:int -> int -> unit
+(** [check ~resource ~limit n] raises iff [n > limit]. *)
+
+(** {1 Fuel counters}
+
+    A [fuel] is a mutable countdown created from one budget field; call
+    {!spend} once per unit of work (state interned, configuration pushed). *)
+
+type fuel
+
+val fuel : resource:string -> int -> fuel
+
+val spend : fuel -> unit
+(** @raise Budget_exceeded on the call after the fuel reaches zero. *)
+
+val describe : exn -> string option
+(** Human-readable rendering of {!Budget_exceeded}; [None] for other
+    exceptions. *)

@@ -1,1 +1,1 @@
-lib/ltl/ltl_check.mli: Format Ltlf Nfa Symbol Trace
+lib/ltl/ltl_check.mli: Format Limits Ltlf Nfa Symbol Trace

@@ -1,1 +1,1 @@
-lib/ltl/ltl_monitor.mli: Format Ltlf Symbol Trace
+lib/ltl/ltl_monitor.mli: Format Limits Ltlf Symbol Trace

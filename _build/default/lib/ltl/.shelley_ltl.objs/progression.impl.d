@@ -1,1 +1,1 @@
-lib/ltl/progression.ml: Array Dfa Fun Hashtbl List Ltlf Map Nnf Queue Symbol
+lib/ltl/progression.ml: Array Dfa Fun Hashtbl Limits List Ltlf Map Nnf Printf Queue Symbol

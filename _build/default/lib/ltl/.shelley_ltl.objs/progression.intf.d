@@ -1,1 +1,1 @@
-lib/ltl/progression.mli: Dfa Ltlf Symbol
+lib/ltl/progression.mli: Dfa Limits Ltlf Symbol

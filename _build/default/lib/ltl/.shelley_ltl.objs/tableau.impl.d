@@ -1,1 +1,1 @@
-lib/ltl/tableau.ml: Array Fun Hashtbl Language List Ltl_check Ltlf Nfa Nnf Progression Queue Set Symbol
+lib/ltl/tableau.ml: Array Fun Hashtbl Language Limits List Ltl_check Ltlf Nfa Nnf Queue Set Symbol

@@ -1,1 +1,1 @@
-lib/ltl/tableau.mli: Ltl_check Ltlf Nfa Symbol
+lib/ltl/tableau.mli: Limits Ltl_check Ltlf Nfa Symbol

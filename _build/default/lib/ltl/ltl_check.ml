@@ -7,17 +7,20 @@ let pp_violation fmt v =
   Format.fprintf fmt "@[<v>Formula: %a@,Counter example: %a@]" Ltlf.pp v.formula Trace.pp
     v.counterexample
 
-let check ?(alphabet = Symbol.Set.empty) ~impl formula =
+let check ?limits ?(alphabet = Symbol.Set.empty) ~impl formula =
   let full_alphabet =
     Symbol.Set.union alphabet (Symbol.Set.union (Nfa.alphabet impl) (Ltlf.atoms formula))
   in
-  let dfa = Progression.to_dfa ~alphabet:(Symbol.Set.elements full_alphabet) formula in
+  let dfa =
+    Progression.to_dfa ?limits ~alphabet:(Symbol.Set.elements full_alphabet) formula
+  in
   let spec = Dfa.to_nfa dfa in
-  match Language.inclusion_counterexample ~alphabet:full_alphabet ~impl ~spec () with
+  match Language.inclusion_counterexample ?limits ~alphabet:full_alphabet ~impl ~spec () with
   | None -> Ok ()
   | Some counterexample -> Error { formula; counterexample }
 
-let check_claim ?alphabet ~impl claim = check ?alphabet ~impl (Ltl_parser.parse claim)
+let check_claim ?limits ?alphabet ~impl claim =
+  check ?limits ?alphabet ~impl (Ltl_parser.parse claim)
 
 let holds_on_all_words ~max_len formula impl =
   Trace.Set.for_all (fun w -> Ltlf.holds formula w) (Nfa.words_upto ~max_len impl)

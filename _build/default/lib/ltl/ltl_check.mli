@@ -20,12 +20,22 @@ val pp_violation : Format.formatter -> violation -> unit
     v} *)
 
 val check :
-  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> Ltlf.t -> (unit, violation) result
+  ?limits:Limits.t ->
+  ?alphabet:Symbol.Set.t ->
+  impl:Nfa.t ->
+  Ltlf.t ->
+  (unit, violation) result
 (** [check ~impl φ] verifies [L(impl) ⊆ L(φ)] over the union of the
-    implementation alphabet, the formula's atoms, and [?alphabet]. *)
+    implementation alphabet, the formula's atoms, and [?alphabet].
+    @raise Limits.Budget_exceeded if the claim automaton or the language
+    product exceeds the budget (default {!Limits.default}). *)
 
 val check_claim :
-  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> string -> (unit, violation) result
+  ?limits:Limits.t ->
+  ?alphabet:Symbol.Set.t ->
+  impl:Nfa.t ->
+  string ->
+  (unit, violation) result
 (** Parse then {!check}.
     @raise Ltl_parser.Parse_error on a malformed claim string. *)
 

@@ -54,18 +54,18 @@ let classify dfa =
       | false, _ -> Definitely_false
       | true, true -> if Dfa.is_accept dfa q then Presumably_true else Presumably_false)
 
-let start ?max_states ~alphabet formula =
-  let dfa = Progression.to_dfa ?max_states ~alphabet formula in
+let start ?limits ~alphabet formula =
+  let dfa = Progression.to_dfa ?limits ~alphabet formula in
   { dfa; verdicts = classify dfa; state = Dfa.start dfa }
 
 let step t event = { t with state = Dfa.next t.dfa t.state event }
 let verdict t = t.verdicts.(t.state)
 
-let run ?max_states ~alphabet formula trace =
-  verdict (List.fold_left step (start ?max_states ~alphabet formula) trace)
+let run ?limits ~alphabet formula trace =
+  verdict (List.fold_left step (start ?limits ~alphabet formula) trace)
 
-let verdict_trajectory ?max_states ~alphabet formula trace =
-  let monitor = start ?max_states ~alphabet formula in
+let verdict_trajectory ?limits ~alphabet formula trace =
+  let monitor = start ?limits ~alphabet formula in
   let rec go monitor acc = function
     | [] -> List.rev (verdict monitor :: acc)
     | e :: rest -> go (step monitor e) (verdict monitor :: acc) rest

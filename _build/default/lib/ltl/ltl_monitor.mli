@@ -29,20 +29,20 @@ val is_definitive : verdict -> bool
 
 type t
 
-val start : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> t
+val start : ?limits:Limits.t -> alphabet:Symbol.t list -> Ltlf.t -> t
 (** Builds the progression DFA and the per-state verdict table. The alphabet
     must cover every event the monitored system can emit; {!step} on a
     symbol outside it raises [Invalid_argument].
-    @raise Progression.State_limit if the claim's automaton exceeds
-    [max_states] (default 50000). *)
+    @raise Limits.Budget_exceeded if the claim's automaton exceeds
+    [limits.max_states] (default {!Limits.default}). *)
 
 val step : t -> Symbol.t -> t
 val verdict : t -> verdict
 
-val run : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict
+val run : ?limits:Limits.t -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict
 (** The verdict after feeding the whole trace. *)
 
 val verdict_trajectory :
-  ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict list
+  ?limits:Limits.t -> alphabet:Symbol.t list -> Ltlf.t -> Trace.t -> verdict list
 (** The verdict after each prefix (starting with the empty prefix) — length
     [length trace + 1]. *)

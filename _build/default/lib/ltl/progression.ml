@@ -64,16 +64,15 @@ let rec progress (f : Ltlf.t) e : Ltlf.t =
 
 let accepts_empty f = Ltlf.holds f []
 
-exception State_limit of int
-
 module Fmap = Map.Make (struct
   type t = Ltlf.t
 
   let compare = Ltlf.compare
 end)
 
-let explore ?(max_states = 50_000) ~alphabet f =
+let explore ?(limits = Limits.default) ~alphabet f =
   let start = normalize f in
+  let budget = Limits.fuel ~resource:"progression obligations" limits.Limits.max_states in
   let index = ref Fmap.empty in
   let order = ref [] in
   let count = ref 0 in
@@ -82,8 +81,8 @@ let explore ?(max_states = 50_000) ~alphabet f =
     match Fmap.find_opt g !index with
     | Some i -> i
     | None ->
+      Limits.spend budget;
       let i = !count in
-      if i >= max_states then raise (State_limit max_states);
       incr count;
       index := Fmap.add g i !index;
       order := g :: !order;
@@ -107,16 +106,21 @@ let explore ?(max_states = 50_000) ~alphabet f =
   loop ();
   (start_id, Array.of_list (List.rev !order), edges, !count)
 
-let to_dfa ?max_states ~alphabet f =
+let to_dfa ?limits ~alphabet f =
   let alphabet = List.sort_uniq Symbol.compare alphabet in
-  let start_id, states, edges, count = explore ?max_states ~alphabet f in
+  let start_id, states, edges, count = explore ?limits ~alphabet f in
   Dfa.create ~alphabet ~num_states:count ~start:start_id
     ~accept:
       (List.filter (fun i -> accepts_empty states.(i)) (List.init count Fun.id))
     ~next:(fun q sym ->
       match Hashtbl.find_opt edges (q, sym) with
       | Some q' -> q'
-      | None -> assert false)
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Progression.to_dfa: no transition from state %d on symbol '%s' (symbol \
+              outside the DFA alphabet?)"
+             q (Symbol.name sym)))
 
 let num_reachable_obligations ~alphabet f =
   let _, _, _, count = explore ~alphabet:(List.sort_uniq Symbol.compare alphabet) f in

@@ -90,7 +90,8 @@ let successors obligations event =
   |> List.map (fun elem -> Fset.of_list (next_obligations elem))
   |> List.sort_uniq Fset.compare
 
-let to_nfa ?(max_states = 50_000) ~alphabet f =
+let to_nfa ?(limits = Limits.default) ~alphabet f =
+  let budget = Limits.fuel ~resource:"tableau states" limits.Limits.max_states in
   let alphabet = List.sort_uniq Symbol.compare alphabet in
   let index = Hashtbl.create 64 in
   let order = ref [] in
@@ -102,7 +103,7 @@ let to_nfa ?(max_states = 50_000) ~alphabet f =
     | Some i -> i
     | None ->
       let i = !count in
-      if i >= max_states then raise (Progression.State_limit max_states);
+      Limits.spend budget;
       incr count;
       Hashtbl.add index key i;
       order := obligations :: !order;
@@ -131,11 +132,11 @@ let to_nfa ?(max_states = 50_000) ~alphabet f =
   in
   Nfa.create ~num_states:(max 1 !count) ~start ~accept ~transitions:!transitions ()
 
-let check ?(alphabet = Symbol.Set.empty) ~impl formula =
+let check ?limits ?(alphabet = Symbol.Set.empty) ~impl formula =
   let full_alphabet =
     Symbol.Set.union alphabet (Symbol.Set.union (Nfa.alphabet impl) (Ltlf.atoms formula))
   in
-  let spec = to_nfa ~alphabet:(Symbol.Set.elements full_alphabet) formula in
-  match Language.inclusion_counterexample ~alphabet:full_alphabet ~impl ~spec () with
+  let spec = to_nfa ?limits ~alphabet:(Symbol.Set.elements full_alphabet) formula in
+  match Language.inclusion_counterexample ?limits ~alphabet:full_alphabet ~impl ~spec () with
   | None -> Ok ()
   | Some counterexample -> Error { Ltl_check.formula; counterexample }

@@ -23,17 +23,21 @@
     progression DFA, and the benchmark harness compares sizes and
     construction cost (DESIGN.md decision 5). *)
 
-val to_nfa : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Nfa.t
+val to_nfa : ?limits:Limits.t -> alphabet:Symbol.t list -> Ltlf.t -> Nfa.t
 (** The input is normalized with {!Nnf.nnf} first. The [alphabet] bounds the
     transition labels exactly as in {!Progression.to_dfa}.
-    @raise Progression.State_limit beyond [max_states] (default 50000)
-    states. *)
+    @raise Limits.Budget_exceeded beyond [limits.max_states] (default
+    {!Limits.default}) states. *)
 
 val elementary_sets : Ltlf.t -> Ltlf.t list list
 (** The initial elementary sets of (the NNF of) a formula, sorted — exposed
     for tests. *)
 
 val check :
-  ?alphabet:Symbol.Set.t -> impl:Nfa.t -> Ltlf.t -> (unit, Ltl_check.violation) result
+  ?limits:Limits.t ->
+  ?alphabet:Symbol.Set.t ->
+  impl:Nfa.t ->
+  Ltlf.t ->
+  (unit, Ltl_check.violation) result
 (** Claim checking through the tableau back end — same contract as
     {!Ltl_check.check}. *)

@@ -443,7 +443,9 @@ let parse_method cur : Mpy_ast.method_def =
     meth_line = tok.Mpy_token.line;
   }
 
-let parse_class_def cur decorators : Mpy_ast.class_def =
+(* The class header up to and including the body's [Indent]:
+   [class Name(Base, ...):\n]. *)
+let parse_class_header cur =
   let tok = peek cur in
   expect cur Kw_class;
   let name = expect_name cur in
@@ -473,6 +475,10 @@ let parse_class_def cur decorators : Mpy_ast.class_def =
   expect cur Colon;
   expect cur Newline;
   expect cur Indent;
+  (tok, name, bases)
+
+let parse_class_def cur decorators : Mpy_ast.class_def =
+  let tok, name, bases = parse_class_header cur in
   let rec members acc =
     skip_newlines cur;
     match peek_kind cur with
@@ -497,6 +503,101 @@ let parse_class_def cur decorators : Mpy_ast.class_def =
     cls_methods = methods;
     cls_line = tok.Mpy_token.line;
   }
+
+(* --- Error recovery ------------------------------------------------------------ *)
+
+type diagnostic = {
+  diag_message : string;
+  diag_line : int;
+  diag_col : int;
+}
+
+(* Panic-mode synchronization: skip to the next token that can plausibly
+   start a top-level declaration — a decorator or [class] at column 0. *)
+let sync_toplevel cur =
+  let rec go () =
+    let tok = peek cur in
+    match tok.Mpy_token.kind with
+    | Eof -> ()
+    | (At | Kw_class) when tok.Mpy_token.col = 0 -> ()
+    | _ ->
+      advance cur;
+      go ()
+  in
+  go ()
+
+(* Synchronize inside a class body to the next member boundary: a decorator,
+   [def] or [pass] back at the body's own indentation column. Stopping on a
+   non-layout token *left* of the body column means the class itself has
+   ended (its [Dedent]s were consumed while skipping); the caller closes the
+   class without consuming that token. *)
+let sync_member cur ~body_col =
+  let rec go () =
+    let tok = peek cur in
+    match tok.Mpy_token.kind with
+    | Eof -> ()
+    | Newline | Indent | Dedent ->
+      advance cur;
+      go ()
+    | (At | Kw_def | Kw_pass) when tok.Mpy_token.col = body_col -> ()
+    | _ when tok.Mpy_token.col < body_col -> ()
+    | _ ->
+      advance cur;
+      go ()
+  in
+  go ()
+
+(* Like {!parse_class_def} but a syntax error inside one member is recorded
+   and parsing resumes at the next member boundary, so the class keeps its
+   other methods. A broken *header* drops the whole class (the caller
+   resynchronizes at top level). *)
+let parse_class_def_tolerant ~record cur decorators : Mpy_ast.class_def option =
+  match parse_class_header cur with
+  | exception Parse_error (msg, line, col) ->
+    record msg line col;
+    sync_toplevel cur;
+    None
+  | tok, name, bases ->
+    skip_newlines cur;
+    let body_col = (peek cur).Mpy_token.col in
+    let rec members acc =
+      skip_newlines cur;
+      let t = peek cur in
+      match t.Mpy_token.kind with
+      | Dedent ->
+        advance cur;
+        List.rev acc
+      | Eof -> List.rev acc
+      | _ when t.Mpy_token.col < body_col -> List.rev acc
+      | At | Kw_def -> (
+        match parse_method cur with
+        | m -> members (m :: acc)
+        | exception Parse_error (msg, line, col) ->
+          record msg line col;
+          sync_member cur ~body_col;
+          members acc)
+      | Kw_pass ->
+        advance cur;
+        (match peek_kind cur with
+        | Newline -> advance cur
+        | _ -> ());
+        members acc
+      | k ->
+        record
+          (Printf.sprintf "expected a method definition but found %s" (Mpy_token.describe k))
+          t.Mpy_token.line t.Mpy_token.col;
+        sync_member cur ~body_col;
+        members acc
+    in
+    let methods = members [] in
+    Some
+      {
+        Mpy_ast.cls_name = name;
+        cls_bases = bases;
+        cls_decorators = decorators;
+        cls_methods = methods;
+        cls_line = tok.Mpy_token.line;
+      }
 
 let parse_program source =
   let cur = { tokens = Mpy_lexer.tokenize source } in
@@ -523,6 +624,63 @@ let parse_program source =
   in
   go ();
   { Mpy_ast.prog_classes = List.rev !classes; prog_toplevel = List.rev !toplevel }
+
+let parse_program_tolerant source =
+  match Mpy_lexer.tokenize source with
+  | exception Mpy_lexer.Lex_error (msg, line, col) ->
+    ( { Mpy_ast.prog_classes = []; prog_toplevel = [] },
+      [ { diag_message = msg; diag_line = line; diag_col = col } ] )
+  | tokens ->
+    let cur = { tokens } in
+    let diags = ref [] in
+    let record msg line col =
+      diags := { diag_message = msg; diag_line = line; diag_col = col } :: !diags
+    in
+    let classes = ref [] in
+    let toplevel = ref [] in
+    let rec go () =
+      skip_newlines cur;
+      match peek_kind cur with
+      | Mpy_token.Eof -> ()
+      | At | Kw_class ->
+        (match
+           let decorators = parse_decorators cur [] in
+           match peek_kind cur with
+           | Mpy_token.Kw_class -> decorators
+           | Kw_def ->
+             fail_at (peek cur) "top-level functions are outside the analyzed subset"
+           | k ->
+             fail_at (peek cur)
+               (Printf.sprintf "expected a class after decorators but found %s"
+                  (Mpy_token.describe k))
+         with
+        | decorators -> (
+          match parse_class_def_tolerant ~record cur decorators with
+          | Some cls -> classes := cls :: !classes
+          | None -> ())
+        | exception Parse_error (msg, line, col) ->
+          record msg line col;
+          sync_toplevel cur);
+        go ()
+      | Indent | Dedent ->
+        (* Recovery can leave stray layout tokens behind; drop them. *)
+        advance cur;
+        go ()
+      | _ ->
+        let before = cur.tokens in
+        (match parse_stmt cur with
+        | s -> toplevel := s :: !toplevel
+        | exception Parse_error (msg, line, col) ->
+          record msg line col;
+          (* Guarantee progress even if the parser failed without
+             consuming anything. *)
+          if cur.tokens == before then advance cur;
+          sync_toplevel cur);
+        go ()
+    in
+    go ();
+    ( { Mpy_ast.prog_classes = List.rev !classes; prog_toplevel = List.rev !toplevel },
+      List.rev !diags )
 
 let parse_class source =
   match (parse_program source).Mpy_ast.prog_classes with

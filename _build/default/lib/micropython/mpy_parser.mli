@@ -14,6 +14,27 @@ val parse_program : string -> Mpy_ast.program
 (** @raise Parse_error on syntax errors.
     @raise Mpy_lexer.Lex_error on lexical errors. *)
 
+type diagnostic = {
+  diag_message : string;
+  diag_line : int;
+  diag_col : int;
+}
+
+val parse_program_tolerant : string -> Mpy_ast.program * diagnostic list
+(** Fault-tolerant variant: never raises. On a syntax error the parser
+    records a diagnostic and resynchronizes at the next [def]/[class]
+    boundary (panic mode), so one broken method drops only that method and
+    one broken class header drops only that class — everything else is still
+    parsed. A *lexical* error cannot be recovered (the token stream is
+    produced up front) and yields an empty program plus one diagnostic.
+    Diagnostics are in source order.
+
+    Caveat: an unclosed bracket suppresses layout tokens until the next
+    closing bracket (implicit line joining), so a breakage such as
+    [def broken(:] can swallow the line structure of the following
+    definitions; recovery then resumes at the next syntactically intact
+    top-level [class]. *)
+
 val parse_class : string -> Mpy_ast.class_def
 (** Convenience: parse a source expected to contain exactly one class.
     @raise Parse_error if there is not exactly one class definition. *)

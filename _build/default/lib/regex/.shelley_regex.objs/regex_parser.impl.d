@@ -1,1 +1,1 @@
-lib/regex/regex_parser.ml: List Printf Regex String
+lib/regex/regex_parser.ml: List Printexc Printf Regex String

@@ -1,4 +1,10 @@
-exception Parse_error of string
+exception Parse_error of string * int * int
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error (msg, line, col) ->
+      Some (Printf.sprintf "Regex_parser.Parse_error(line %d, col %d: %s)" line col msg)
+    | _ -> None)
 
 type token =
   | Event of string
@@ -10,6 +16,12 @@ type token =
   | Lparen
   | Rparen
   | Eof
+
+type positioned = {
+  tok : token;
+  tok_line : int;  (** 1-based *)
+  tok_col : int;  (** 0-based *)
+}
 
 let describe = function
   | Event s -> Printf.sprintf "event %S" s
@@ -33,59 +45,48 @@ let middot_utf8 = "\xc2\xb7"
 let tokenize input =
   let n = String.length input in
   let tokens = ref [] in
-  let rec go i =
-    if i >= n then tokens := Eof :: !tokens
-    else if i + 2 <= n && String.sub input i 2 = eps_utf8 then begin
-      tokens := Eps :: !tokens;
-      go (i + 2)
-    end
-    else if i + 2 <= n && String.sub input i 2 = middot_utf8 then begin
-      tokens := Dot :: !tokens;
-      go (i + 2)
-    end
-    else if i + 3 <= n && String.sub input i 3 = empty_utf8 then begin
-      tokens := Empty :: !tokens;
-      go (i + 3)
-    end
+  let rec go i ~line ~bol =
+    let emit tok width =
+      tokens := { tok; tok_line = line; tok_col = i - bol } :: !tokens;
+      go (i + width) ~line ~bol
+    in
+    if i >= n then tokens := { tok = Eof; tok_line = line; tok_col = i - bol } :: !tokens
+    else if i + 2 <= n && String.sub input i 2 = eps_utf8 then emit Eps 2
+    else if i + 2 <= n && String.sub input i 2 = middot_utf8 then emit Dot 2
+    else if i + 3 <= n && String.sub input i 3 = empty_utf8 then emit Empty 3
     else
       match input.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
-      | '+' ->
-        tokens := Plus :: !tokens;
-        go (i + 1)
-      | '*' ->
-        tokens := Star :: !tokens;
-        go (i + 1)
-      | '(' ->
-        tokens := Lparen :: !tokens;
-        go (i + 1)
-      | ')' ->
-        tokens := Rparen :: !tokens;
-        go (i + 1)
+      | '\n' -> go (i + 1) ~line:(line + 1) ~bol:(i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1) ~line ~bol
+      | '+' -> emit Plus 1
+      | '*' -> emit Star 1
+      | '(' -> emit Lparen 1
+      | ')' -> emit Rparen 1
       | c when is_ident_char c ->
         let j = ref i in
         while !j < n && is_ident_char input.[!j] do
           incr j
         done;
         let word = String.sub input i (!j - i) in
-        let token =
+        let tok =
           match word with
           | "eps" | "1" -> Eps
           | "empty" | "0" -> Empty
           | _ -> Event word
         in
-        tokens := token :: !tokens;
-        go !j
-      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C at offset %d" c i))
+        emit tok (!j - i)
+      | c ->
+        raise
+          (Parse_error (Printf.sprintf "unexpected character %C" c, line, i - bol))
   in
-  go 0;
+  go 0 ~line:1 ~bol:0;
   List.rev !tokens
 
-type cursor = { mutable tokens : token list }
+type cursor = { mutable tokens : positioned list }
 
 let peek cur =
   match cur.tokens with
-  | [] -> Eof
+  | [] -> { tok = Eof; tok_line = 1; tok_col = 0 }
   | t :: _ -> t
 
 let advance cur =
@@ -93,12 +94,13 @@ let advance cur =
   | [] -> ()
   | _ :: rest -> cur.tokens <- rest
 
+let error_at (p : positioned) msg = raise (Parse_error (msg, p.tok_line, p.tok_col))
+
 let expect cur t =
-  if peek cur = t then advance cur
+  let p = peek cur in
+  if p.tok = t then advance cur
   else
-    raise
-      (Parse_error
-         (Printf.sprintf "expected %s but found %s" (describe t) (describe (peek cur))))
+    error_at p (Printf.sprintf "expected %s but found %s" (describe t) (describe p.tok))
 
 let starts_atom = function
   | Event _ | Eps | Empty | Lparen -> true
@@ -106,7 +108,7 @@ let starts_atom = function
 
 let rec parse_alt cur =
   let first = parse_cat cur in
-  match peek cur with
+  match (peek cur).tok with
   | Plus ->
     advance cur;
     Regex.alt first (parse_alt cur)
@@ -115,7 +117,7 @@ let rec parse_alt cur =
 and parse_cat cur =
   let first = parse_star cur in
   let rec continue_ acc =
-    match peek cur with
+    match (peek cur).tok with
     | Dot ->
       advance cur;
       continue_ (Regex.seq acc (parse_star cur))
@@ -127,7 +129,7 @@ and parse_cat cur =
 and parse_star cur =
   let atom = parse_atom cur in
   let rec stars acc =
-    match peek cur with
+    match (peek cur).tok with
     | Star ->
       advance cur;
       stars (Regex.star acc)
@@ -136,7 +138,8 @@ and parse_star cur =
   stars atom
 
 and parse_atom cur =
-  match peek cur with
+  let p = peek cur in
+  match p.tok with
   | Event name ->
     advance cur;
     Regex.sym_of_name name
@@ -151,9 +154,7 @@ and parse_atom cur =
     let r = parse_alt cur in
     expect cur Rparen;
     r
-  | t ->
-    raise
-      (Parse_error (Printf.sprintf "expected an expression but found %s" (describe t)))
+  | t -> error_at p (Printf.sprintf "expected an expression but found %s" (describe t))
 
 let parse input =
   let cur = { tokens = tokenize input } in
@@ -164,4 +165,5 @@ let parse input =
 let parse_result input =
   match parse input with
   | r -> Ok r
-  | exception Parse_error msg -> Error msg
+  | exception Parse_error (msg, line, col) ->
+    Error (Printf.sprintf "line %d, col %d: %s" line col msg)

@@ -15,3 +15,10 @@
   $ shelley export valve.py -o . >/dev/null
   $ tail -31 bad_sector.py > sector_only.py
   $ shelley check --using Valve.shelley sector_only.py | head -5
+  $ shelley check broken.py
+  $ shelley check broken.py bad_sector.py
+  $ shelley check valve.py broken.py
+  $ shelley check --fuel 5 bad_sector.py
+  $ shelley check --max-states 2 bad_sector.py
+  $ shelley check bad_sector.py >/dev/null; echo "exit $?"
+  $ shelley check no_such_file.py valve.py

@@ -1,0 +1,1 @@
+test/test_fault.ml: Alcotest Determinize Dfa Glushkov Language Limits List Model Option Pipeline Printexc Printf QCheck2 Regex Report String Symbol Testutil

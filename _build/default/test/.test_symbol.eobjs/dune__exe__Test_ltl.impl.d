@@ -1,1 +1,1 @@
-test/test_ltl.ml: Alcotest Dfa Format Language List Ltl_check Ltl_monitor Ltl_parser Ltlf Nfa Nnf Printf Progression QCheck2 Regex Symbol Tableau Testutil Thompson Trace
+test/test_ltl.ml: Alcotest Dfa Format Language Limits List Ltl_check Ltl_monitor Ltl_parser Ltlf Nfa Nnf Printf Progression QCheck2 Regex Symbol Tableau Testutil Thompson Trace

@@ -1,1 +1,1 @@
-test/test_regex.ml: Alcotest Deriv Enumerate Equiv Format List Prog_gen QCheck2 Regex Symbol Testutil Trace
+test/test_regex.ml: Alcotest Deriv Enumerate Equiv Format List Printf Prog_gen QCheck2 Regex Regex_parser Symbol Testutil Trace

@@ -108,3 +108,85 @@ only (no Valve source in the checked file):
   Counter example: open_a, a.test, a.open
   Subsystems errors:
     * Valve 'a': test, >open< (not final)
+
+Fault tolerance: a file mixing one broken class with a valid one yields the
+syntax diagnostic (exit 2), and one broken file never aborts the rest of the
+run — every later file is still fully verified and the process exits with
+the maximum per-file code:
+
+  $ shelley check broken.py
+  == broken.py ==
+  Error: syntax error at line 4, col 15: expected ':' but found end of line
+  
+  [2]
+
+  $ shelley check broken.py bad_sector.py
+  == broken.py ==
+  Error: syntax error at line 4, col 15: expected ':' but found end of line
+  
+  == bad_sector.py ==
+  Error in specification: INVALID SUBSYSTEM USAGE
+  Counter example: open_a, a.test, a.open
+  Subsystems errors:
+    * Valve 'a': test, >open< (not final)
+  
+  Error in specification: FAIL TO MEET REQUIREMENT
+  Formula: (!a.open) W b.open
+  Counter example: a.test, a.open
+  
+  [2]
+
+A verified file alongside a broken one keeps the broken file's code:
+
+  $ shelley check valve.py broken.py
+  == broken.py ==
+  Error: syntax error at line 4, col 15: expected ':' but found end of line
+  
+  [2]
+
+Resource budgets: starving the automata checks degrades gracefully — the
+blown check is reported (naming the exhausted budget), the other checks
+still run, and the exit code is 3:
+
+  $ shelley check --fuel 5 bad_sector.py
+  == bad_sector.py ==
+  Error in verification: RESOURCE LIMIT EXCEEDED
+  Class: BadSector
+  Check: usage (skipped; other checks still ran)
+  Budget: language-product configurations (limit 5)
+  
+  Error in verification: RESOURCE LIMIT EXCEEDED
+  Class: BadSector
+  Check: claims (skipped; other checks still ran)
+  Budget: language-product configurations (limit 5)
+  
+  [3]
+
+  $ shelley check --max-states 2 bad_sector.py
+  == bad_sector.py ==
+  Error in specification: INVALID SUBSYSTEM USAGE
+  Counter example: open_a, a.test, a.open
+  Subsystems errors:
+    * Valve 'a': test, >open< (not final)
+  
+  Error in verification: RESOURCE LIMIT EXCEEDED
+  Class: BadSector
+  Check: claims (skipped; other checks still ran)
+  Budget: progression obligations (limit 2)
+  
+  [3]
+
+Under the default budget the same file reports plain verification failures
+(exit 1), so resource exhaustion is never confused with a specification bug:
+
+  $ shelley check bad_sector.py >/dev/null; echo "exit $?"
+  exit 1
+
+An unreadable path is reported like any other per-file failure — it is not
+rejected up front by argument parsing, and the remaining files still run:
+
+  $ shelley check no_such_file.py valve.py
+  == no_such_file.py ==
+  Error: cannot read file: no_such_file.py: No such file or directory
+  
+  [2]

@@ -612,9 +612,13 @@ let test_invocation_wildcard_covers () =
 (* --- Pipeline --------------------------------------------------------------------------- *)
 
 let test_pipeline_parse_error () =
-  match Pipeline.verify_source "class C:\n  def broken(:\n" with
-  | Error msg -> Alcotest.(check bool) "message mentions line" true (contains msg "line")
-  | Ok _ -> Alcotest.fail "expected a parse error"
+  let result = Pipeline.verify_source "class C:\n  def broken(self)\n    return []\n" in
+  Alcotest.(check bool) "has a syntax-error report" true
+    (List.exists Report.is_syntax_error result.Pipeline.reports);
+  Alcotest.(check bool) "not verified" false (Pipeline.verified result);
+  match List.find Report.is_syntax_error result.Pipeline.reports with
+  | Report.Syntax_error { line; _ } -> Alcotest.(check int) "error line" 2 line
+  | _ -> assert false
 
 let test_pipeline_models_in_order () =
   let result = bad_result () in

@@ -1,0 +1,308 @@
+open Testutil
+
+(* Fault-injection suite: malformed sources and adversarial automata inputs.
+   The contract under test is the pipeline's, not any one check's — every
+   input terminates with structured reports, and the only exceptions that
+   may cross a module boundary are the typed ones ([Limits.Budget_exceeded],
+   parser/lexer errors from the *strict* entry points). *)
+
+(* --- Shared sources ---------------------------------------------------------- *)
+
+let valve_source =
+  {|
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        return ["test"]
+|}
+
+(* --- Malformed-source corpus -------------------------------------------------- *)
+
+(* Each entry is (name, source). Sources are deliberately broken in distinct
+   ways: lexical faults, header faults, member faults, stray top level. *)
+let malformed_corpus =
+  [
+    ("unterminated string", "class C:\n    def m(self):\n        s = \"oops\n");
+    ("inconsistent dedent", "class C:\n    def m(self):\n            x()\n       y()\n");
+    ("broken def signature", "class C:\n    def broken(:\n        return []\n");
+    ("missing class colon", "class C\n    def m(self):\n        return []\n");
+    ("garbage characters", "class C:\n    def m(self):\n        $ ? !\n");
+    ("truncated class", "class C:\n");
+    ("nested def", "class C:\n    def m(self):\n        def helper():\n            pass\n");
+    ("decorator without class", "@sys\nx = 1\n");
+    ("top-level def", "@op\ndef loose():\n    return []\n");
+    ("stray dedent garbage", "class C:\n    def m(self):\n        return []\n  stray\n");
+    ("missing paren", "class C:\n    def m(self):\n        self.p.on(\n");
+    ("bad match case", "class C:\n    def m(self):\n        match x:\n            case : pass\n");
+    ("empty input", "");
+    ("whitespace only", "\n\n   \n");
+  ]
+
+(* Rendering a report must never raise either — diagnostics that crash the
+   reporter are as bad as the fault they describe. *)
+let well_formed (r : Report.t) = String.length (Report.to_string r) >= 0
+
+let test_corpus_never_raises () =
+  List.iter
+    (fun (name, source) ->
+      match Pipeline.verify_source source with
+      | result ->
+        Alcotest.(check bool)
+          (name ^ ": reports render") true
+          (List.for_all well_formed result.Pipeline.reports)
+      | exception exn ->
+        Alcotest.failf "%s: verify_source raised %s" name (Printexc.to_string exn))
+    malformed_corpus
+
+let test_corpus_brokenness_is_reported () =
+  (* Everything before "empty input" is genuinely broken and must produce at
+     least one syntax diagnostic; the trailing well-formed entries must not. *)
+  List.iter
+    (fun (name, source) ->
+      let result = Pipeline.verify_source source in
+      let has_syntax = List.exists Report.is_syntax_error result.Pipeline.reports in
+      let expect_broken = name <> "empty input" && name <> "whitespace only" in
+      Alcotest.(check bool) (name ^ ": syntax diagnostic") expect_broken has_syntax)
+    malformed_corpus
+
+(* The acceptance scenario: one broken class and one valid class in the same
+   file yields the valid class's model plus a syntax diagnostic. *)
+let test_partial_file_keeps_good_class () =
+  (* NB: the injected fault must not open a bracket ("def m(self:"), or the
+     lexer's implicit line joining swallows the layout tokens of everything
+     after it and the good class is lost with it. *)
+  let source =
+    "class Broken:\n    def m(self)\n        return []\n\n" ^ valve_source
+  in
+  let result = Pipeline.verify_source source in
+  Alcotest.(check bool) "syntax diagnostic present" true
+    (List.exists Report.is_syntax_error result.Pipeline.reports);
+  Alcotest.(check bool) "Valve model survives" true
+    (Option.is_some (Pipeline.find_model result "Valve"))
+
+(* A broken *member* costs only that member: the class and its other
+   operations survive. *)
+let test_broken_member_keeps_other_methods () =
+  let source =
+    "@sys\n\
+     class Dev:\n\
+    \    @op_initial_final\n\
+    \    def ok(self):\n\
+    \        return []\n\
+    \    @op\n\
+    \    def broken(self:\n\
+    \        return []\n"
+  in
+  let result = Pipeline.verify_source source in
+  Alcotest.(check bool) "diagnostic recorded" true
+    (List.exists Report.is_syntax_error result.Pipeline.reports);
+  match Pipeline.find_model result "Dev" with
+  | None -> Alcotest.fail "class Dev lost entirely"
+  | Some model ->
+    Alcotest.(check bool) "ok operation survives" true
+      (Option.is_some (Model.find_op model "ok"))
+
+(* --- Adversarial determinization --------------------------------------------- *)
+
+(* (a+b)* a (a+b)^n needs 2^n DFA states: the subset construction must stop
+   at the budget, not run away. *)
+let blowup_regex n =
+  let a = Regex.sym_of_name "a" and b = Regex.sym_of_name "b" in
+  let ab = Regex.alt a b in
+  let tail = List.init n (fun _ -> ab) in
+  Regex.seq_list (Regex.star ab :: a :: tail)
+
+let test_determinize_blowup_hits_budget () =
+  let nfa = Glushkov.of_regex (blowup_regex 40) in
+  let limits = Limits.make ~max_states:256 () in
+  match Determinize.determinize ~limits nfa with
+  | _ -> Alcotest.fail "2^40 states fit in a 256-state budget?"
+  | exception Limits.Budget_exceeded { resource; limit } ->
+    Alcotest.(check int) "reported limit" 256 limit;
+    Alcotest.(check bool) "resource named" true (String.length resource > 0)
+
+let test_determinize_small_instance_fits () =
+  let nfa = Glushkov.of_regex (blowup_regex 4) in
+  let dfa = Determinize.determinize ~limits:(Limits.make ~max_states:256 ()) nfa in
+  Alcotest.(check bool) "within budget" true (Dfa.num_states dfa <= 256)
+
+(* Satellite: out-of-alphabet queries are a diagnosable Invalid_argument,
+   not an assertion failure. *)
+let test_determinize_foreign_symbol () =
+  let dfa = Determinize.determinize (Glushkov.of_regex (blowup_regex 2)) in
+  match Dfa.next dfa (Dfa.start dfa) (Symbol.intern "zzz-not-in-alphabet") with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool) "names the symbol" true (contains msg "zzz-not-in-alphabet")
+
+(* --- Adversarial language products -------------------------------------------- *)
+
+let test_language_product_hits_budget () =
+  let impl = Glushkov.of_regex (blowup_regex 40) in
+  let spec = Glushkov.of_regex (blowup_regex 41) in
+  let limits = Limits.make ~max_configs:500 () in
+  match Language.inclusion_counterexample ~limits ~impl ~spec () with
+  | _ -> Alcotest.fail "expected the product to exhaust its budget"
+  | exception Limits.Budget_exceeded { limit; _ } ->
+    Alcotest.(check int) "reported limit" 500 limit
+
+(* Random regexes: determinization either finishes inside the budget or
+   raises the typed exception — nothing else, and it always terminates. *)
+let prop_determinize_total =
+  qtest "determinize total under budget" ~count:150 default_regex_gen ~print:regex_print
+    (fun r ->
+      let limits = Limits.make ~max_states:200 () in
+      match Determinize.determinize ~limits (Glushkov.of_regex r) with
+      | dfa -> Dfa.num_states dfa <= 200 + 1
+      | exception Limits.Budget_exceeded _ -> true)
+
+(* --- Graceful degradation in the pipeline -------------------------------------- *)
+
+let starved = Limits.make ~max_states:1 ~max_configs:1 ~max_regex_size:1 ()
+
+(* A composite whose subsystem-usage check actually exercises the automata
+   machinery — a subsystem-free class like Valve never spends any budget. *)
+let sector_source =
+  valve_source
+  ^ "\n\
+     @sys([\"a\"])\n\
+     class Sector:\n\
+    \    def __init__(self):\n\
+    \        self.a = Valve()\n\
+    \    @op_initial_final\n\
+    \    def cycle(self):\n\
+    \        match self.a.test():\n\
+    \            case [\"open\"]:\n\
+    \                self.a.open()\n\
+    \                self.a.close()\n\
+    \                return []\n\
+    \            case [\"clean\"]:\n\
+    \                self.a.clean()\n\
+    \                return []\n"
+
+let test_starved_pipeline_degrades () =
+  match Pipeline.verify_source ~limits:starved sector_source with
+  | exception exn ->
+    Alcotest.failf "starved pipeline raised %s" (Printexc.to_string exn)
+  | result ->
+    Alcotest.(check bool) "models still extracted" true
+      (Option.is_some (Pipeline.find_model result "Sector"));
+    Alcotest.(check bool) "budget blowouts reported as Resource_limit" true
+      (List.exists Report.is_resource_limit result.Pipeline.reports)
+
+let test_generous_budget_verifies_sector () =
+  (* The same source under the default budget passes outright — degradation
+     is a property of the budget, not of the program. *)
+  let result = Pipeline.verify_source sector_source in
+  Alcotest.(check bool) "verified" true (Pipeline.verified result)
+
+let test_starved_pipeline_runs_other_checks () =
+  (* A structural error (unreachable op) must still be found even when the
+     automata-backed checks blow their budget. *)
+  let source =
+    "@sys\n\
+     class Lonely:\n\
+    \    @op_initial_final\n\
+    \    def go(self):\n\
+    \        return []\n\
+    \    @op\n\
+    \    def orphan(self):\n\
+    \        return []\n"
+  in
+  let result = Pipeline.verify_source ~limits:starved source in
+  let structural =
+    List.exists
+      (function
+        | Report.Structural _ -> true
+        | _ -> false)
+      result.Pipeline.reports
+  in
+  Alcotest.(check bool) "validate still reports" true structural
+
+(* Fuzz: arbitrary bytes through the tolerant pipeline. The budget is starved
+   so even adversarial accidental blowups stay cheap. *)
+let fuzz_gen = QCheck2.Gen.(string_size ~gen:printable (int_range 0 300))
+
+let prop_pipeline_total_on_garbage =
+  qtest "verify_source total on garbage" ~count:300 fuzz_gen
+    ~print:(fun s -> String.escaped s)
+    (fun source ->
+      let result = Pipeline.verify_source ~limits:starved source in
+      List.for_all well_formed result.Pipeline.reports)
+
+(* Mutation fuzz: chop the valve source at a random point and splice a random
+   printable character in — close-to-valid inputs exercise recovery paths the
+   pure-garbage fuzzer rarely reaches. *)
+let mutation_gen =
+  QCheck2.Gen.(
+    pair (int_range 0 (String.length valve_source - 1)) printable)
+
+let prop_pipeline_total_on_mutations =
+  qtest "verify_source total on mutations" ~count:300 mutation_gen
+    ~print:(fun (i, c) -> Printf.sprintf "cut at %d, insert %C" i c)
+    (fun (i, c) ->
+      let source =
+        String.sub valve_source 0 i
+        ^ String.make 1 c
+        ^ String.sub valve_source i (String.length valve_source - i)
+      in
+      let result = Pipeline.verify_source ~limits:starved source in
+      List.for_all well_formed result.Pipeline.reports)
+
+(* --- Suite -------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "malformed sources",
+        [
+          Alcotest.test_case "corpus never raises" `Quick test_corpus_never_raises;
+          Alcotest.test_case "brokenness reported" `Quick test_corpus_brokenness_is_reported;
+          Alcotest.test_case "partial file keeps good class" `Quick
+            test_partial_file_keeps_good_class;
+          Alcotest.test_case "broken member keeps methods" `Quick
+            test_broken_member_keeps_other_methods;
+        ] );
+      ( "adversarial automata",
+        [
+          Alcotest.test_case "determinize blowup hits budget" `Quick
+            test_determinize_blowup_hits_budget;
+          Alcotest.test_case "small instance fits" `Quick test_determinize_small_instance_fits;
+          Alcotest.test_case "foreign symbol diagnosable" `Quick test_determinize_foreign_symbol;
+          Alcotest.test_case "language product hits budget" `Quick
+            test_language_product_hits_budget;
+          prop_determinize_total;
+        ] );
+      ( "graceful degradation",
+        [
+          Alcotest.test_case "starved pipeline degrades" `Quick test_starved_pipeline_degrades;
+          Alcotest.test_case "generous budget verifies" `Quick
+            test_generous_budget_verifies_sector;
+          Alcotest.test_case "other checks still run" `Quick
+            test_starved_pipeline_runs_other_checks;
+          prop_pipeline_total_on_garbage;
+          prop_pipeline_total_on_mutations;
+        ] );
+    ]

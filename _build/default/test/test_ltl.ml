@@ -122,7 +122,9 @@ let alphabet = List.map Symbol.intern [ "a.open"; "b.open"; "a.test" ]
    exceeded budget as "case skipped". *)
 let budget = 1500
 
-let with_budget prop = try prop () with Progression.State_limit _ -> true
+let limits = Limits.make ~max_states:budget ()
+
+let with_budget prop = try prop () with Limits.Budget_exceeded _ -> true
 
 let test_progression_invariant () =
   (* e·rest ⊨ φ  iff  rest ⊨ progress(φ, e) *)
@@ -279,7 +281,7 @@ let prop_dfa_semantics =
     ~print:(fun (f, w) -> Printf.sprintf "%s on %s" (Ltlf.to_string f) (Trace.to_string w))
     (fun (f, w) ->
       with_budget (fun () ->
-          let dfa = Progression.to_dfa ~max_states:budget ~alphabet f in
+          let dfa = Progression.to_dfa ~limits ~alphabet f in
           Dfa.accepts dfa w = Ltlf.holds f w))
 
 let prop_normalize_preserves =
@@ -294,8 +296,8 @@ let prop_negation_flips =
     ~print:(fun (f, w) -> Printf.sprintf "%s on %s" (Ltlf.to_string f) (Trace.to_string w))
     (fun (f, w) ->
       with_budget (fun () ->
-          let d1 = Progression.to_dfa ~max_states:budget ~alphabet f in
-          let d2 = Progression.to_dfa ~max_states:budget ~alphabet (Ltlf.neg f) in
+          let d1 = Progression.to_dfa ~limits ~alphabet f in
+          let d2 = Progression.to_dfa ~limits ~alphabet (Ltlf.neg f) in
           Dfa.accepts d1 w <> Dfa.accepts d2 w))
 
 (* --- NNF ------------------------------------------------------------------------ *)
@@ -352,8 +354,8 @@ let test_tableau_agrees_on_corpus () =
 let prop_tableau_equals_progression =
   qtest "tableau NFA = progression DFA" ~count:80 ltl_gen ~print:Ltlf.to_string (fun f ->
       with_budget (fun () ->
-          let dfa = Progression.to_dfa ~max_states:budget ~alphabet f in
-          let nfa = Tableau.to_nfa ~max_states:budget ~alphabet f in
+          let dfa = Progression.to_dfa ~limits ~alphabet f in
+          let nfa = Tableau.to_nfa ~limits ~alphabet f in
           Language.equivalent (Dfa.to_nfa dfa) nfa))
 
 let prop_tableau_equals_semantics =
@@ -362,7 +364,7 @@ let prop_tableau_equals_semantics =
     ~print:(fun (f, w) -> Printf.sprintf "%s on %s" (Ltlf.to_string f) (Trace.to_string w))
     (fun (f, w) ->
       with_budget (fun () ->
-          let nfa = Tableau.to_nfa ~max_states:budget ~alphabet f in
+          let nfa = Tableau.to_nfa ~limits ~alphabet f in
           Nfa.accepts nfa w = Ltlf.holds f w))
 
 let test_tableau_check_agrees () =
@@ -419,7 +421,7 @@ let prop_monitor_agrees_with_holds =
     ~print:(fun (f, w) -> Printf.sprintf "%s on %s" (Ltlf.to_string f) (Trace.to_string w))
     (fun (f, w) ->
       with_budget (fun () ->
-      let v = Ltl_monitor.run ~max_states:budget ~alphabet f w in
+      let v = Ltl_monitor.run ~limits ~alphabet f w in
       let now = Ltlf.holds f w in
       let positive =
         match v with
@@ -443,7 +445,7 @@ let prop_monitor_monotone =
     ~print:(fun (f, w) -> Printf.sprintf "%s on %s" (Ltlf.to_string f) (Trace.to_string w))
     (fun (f, w) ->
       with_budget (fun () ->
-      let trajectory = Ltl_monitor.verdict_trajectory ~max_states:budget ~alphabet f w in
+      let trajectory = Ltl_monitor.verdict_trajectory ~limits ~alphabet f w in
       let rec check_mono = function
         | [] | [ _ ] -> true
         | v1 :: (v2 :: _ as rest) ->

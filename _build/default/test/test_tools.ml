@@ -232,17 +232,17 @@ let test_refines_direction () =
   (* StrictValve's usages are a subset of Valve's... except op names must
      match: both use test/open/close, Valve additionally allows clean. *)
   Alcotest.(check bool) "strict refines permissive" true
-    (Result.is_ok (Refine.refines ~impl:strict_valve ~spec:valve));
-  match Refine.refines ~impl:valve ~spec:strict_valve with
+    (Result.is_ok (Refine.refines ~impl:strict_valve ~spec:valve ()));
+  match Refine.refines ~impl:valve ~spec:strict_valve () with
   | Ok () -> Alcotest.fail "permissive cannot refine strict"
   | Error w ->
     Alcotest.check trace "witness uses clean" (tr [ "test"; "clean" ]) w
 
 let test_substitutable_direction () =
   Alcotest.(check bool) "valve substitutable for strict" true
-    (Result.is_ok (Refine.substitutable ~sub:valve ~super:strict_valve));
+    (Result.is_ok (Refine.substitutable ~sub:valve ~super:strict_valve ()));
   Alcotest.(check bool) "strict not substitutable for valve" false
-    (Result.is_ok (Refine.substitutable ~sub:strict_valve ~super:valve))
+    (Result.is_ok (Refine.substitutable ~sub:strict_valve ~super:valve ()))
 
 let test_equivalent_protocols () =
   Alcotest.(check bool) "self equivalence" true (Refine.equivalent_protocols valve valve);

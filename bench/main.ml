@@ -73,9 +73,7 @@ let table2 () =
     ]
 
 let models_of source =
-  match Pipeline.verify_source source with
-  | Ok result -> result
-  | Error msg -> failwith msg
+  Pipeline.verify_source_exn source
 
 let figure1 () =
   section "F1: Figure 1 — Valve diagram";

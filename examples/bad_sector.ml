@@ -7,9 +7,7 @@
 let () =
   print_endline "=== BadSector (Listing 2.2): both paper errors ===\n";
   let result =
-    match Pipeline.verify_source (Sources.valve ^ Sources.bad_sector) with
-    | Ok result -> result
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn (Sources.valve ^ Sources.bad_sector)
   in
 
   (* The paper's two transcripts. *)

@@ -6,9 +6,7 @@
 let () =
   print_endline "=== GoodSector: a sector that verifies ===\n";
   let result =
-    match Pipeline.verify_source (Sources.valve ^ Sources.good_sector) with
-    | Ok result -> result
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn (Sources.valve ^ Sources.good_sector)
   in
   (match Report.errors result.Pipeline.reports with
   | [] -> print_endline "verified: no errors — both valves always released, claim holds\n"
@@ -35,9 +33,7 @@ let () =
   (* Listing 3.1 and its §3.1 dependency graph (Figure 3). *)
   print_endline "\n=== Listing 3.1 Sector: method dependency graph (Figure 3) ===\n";
   let listing =
-    match Pipeline.verify_source (Sources.valve ^ Sources.listing31_sector) with
-    | Ok r -> r
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn (Sources.valve ^ Sources.listing31_sector)
   in
   let sector = Option.get (Pipeline.find_model listing "Sector") in
   let graph = Depgraph.of_model sector in

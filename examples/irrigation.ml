@@ -176,9 +176,7 @@ let () =
   print_endline "=== irrigation controller: a three-level hierarchy ===\n";
   let source = Sources.valve ^ battery ^ radio ^ sector ^ controller in
   let result =
-    match Pipeline.verify_source source with
-    | Ok result -> result
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn source
   in
   (match Report.errors result.Pipeline.reports with
   | [] -> print_endline "verified: Valve, Battery, Radio, Sector, Controller — no errors\n"
@@ -225,9 +223,7 @@ let () =
   print_endline "\n=== fault injection: report without radio.disconnect ===\n";
   let leaky_source = Sources.valve ^ battery ^ radio ^ leaky_controller in
   let leaky =
-    match Pipeline.verify_source leaky_source with
-    | Ok r -> r
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn leaky_source
   in
   (match Report.errors leaky.Pipeline.reports with
   | [] -> failwith "expected the leaky controller to fail verification"

@@ -8,9 +8,7 @@ let () =
 
   (* 1. Parse and verify the source. *)
   let result =
-    match Pipeline.verify_source Sources.valve with
-    | Ok result -> result
-    | Error msg -> failwith msg
+    Pipeline.verify_source_exn Sources.valve
   in
   Format.printf "verified: %b (%d reports)@.@." (Pipeline.verified result)
     (List.length result.Pipeline.reports);

@@ -4,6 +4,13 @@
     larger one is supplied (Shelley lifts specification automata to the
     alphabet of the implementation before comparing languages). *)
 
-val determinize : ?alphabet:Symbol.t list -> Nfa.t -> Dfa.t
+val determinize : ?limits:Limits.t -> ?alphabet:Symbol.t list -> Nfa.t -> Dfa.t
 (** Classic ε-closed subset construction. The empty configuration becomes the
-    (rejecting, absorbing) sink, so the result is complete. *)
+    (rejecting, absorbing) sink, so the result is complete.
+
+    The construction is exponential in the worst case; at most
+    [limits.max_states] subset configurations are discovered
+    (default {!Limits.default}).
+    @raise Limits.Budget_exceeded when the state budget runs out.
+    @raise Invalid_argument if the resulting DFA is queried on a symbol
+    outside its alphabet (the error names the state and symbol). *)

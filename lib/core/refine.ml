@@ -1,29 +1,30 @@
-let usage_inclusion_counterexample a b =
+let usage_inclusion_counterexample ?limits a b =
   let impl = Depgraph.usage_nfa a in
   let spec = Depgraph.usage_nfa b in
   let alphabet = Symbol.Set.union (Nfa.alphabet impl) (Nfa.alphabet spec) in
-  Language.inclusion_counterexample ~alphabet ~impl ~spec ()
+  Language.inclusion_counterexample ?limits ~alphabet ~impl ~spec ()
 
-let refines ~impl ~spec =
-  match usage_inclusion_counterexample impl spec with
+let refines ?limits ~impl ~spec () =
+  match usage_inclusion_counterexample ?limits impl spec with
   | None -> Ok ()
   | Some w -> Error w
 
-let substitutable ~sub ~super =
-  match usage_inclusion_counterexample super sub with
+let substitutable ?limits ~sub ~super () =
+  match usage_inclusion_counterexample ?limits super sub with
   | None -> Ok ()
   | Some w -> Error w
 
-let equivalent_protocols a b =
-  Result.is_ok (refines ~impl:a ~spec:b) && Result.is_ok (refines ~impl:b ~spec:a)
+let equivalent_protocols ?limits a b =
+  Result.is_ok (refines ?limits ~impl:a ~spec:b ())
+  && Result.is_ok (refines ?limits ~impl:b ~spec:a ())
 
-let check_inheritance ~env (cls : Mpy_ast.class_def) (model : Model.t) =
+let check_inheritance ?limits ~env (cls : Mpy_ast.class_def) (model : Model.t) =
   List.filter_map
     (fun base ->
       match env base with
       | None -> None (* Pin, ADC, ... — not a verified class *)
       | Some super -> (
-        match substitutable ~sub:model ~super with
+        match substitutable ?limits ~sub:model ~super () with
         | Ok () -> None
         | Error witness ->
           Some

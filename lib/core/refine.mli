@@ -19,15 +19,16 @@
     inheritance declared in the source ([class Child(Parent):]) whenever
     both sides carry [@sys]. *)
 
-val refines : impl:Model.t -> spec:Model.t -> (unit, Trace.t) result
+val refines : ?limits:Limits.t -> impl:Model.t -> spec:Model.t -> unit -> (unit, Trace.t) result
 (** [Error w] gives a shortest usage of [impl] that [spec] forbids. *)
 
-val substitutable : sub:Model.t -> super:Model.t -> (unit, Trace.t) result
+val substitutable :
+  ?limits:Limits.t -> sub:Model.t -> super:Model.t -> unit -> (unit, Trace.t) result
 (** [Error w] gives a shortest usage of [super] that [sub] forbids. *)
 
-val equivalent_protocols : Model.t -> Model.t -> bool
+val equivalent_protocols : ?limits:Limits.t -> Model.t -> Model.t -> bool
 
 val check_inheritance :
-  env:Usage.env -> Mpy_ast.class_def -> Model.t -> Report.t list
+  ?limits:Limits.t -> env:Usage.env -> Mpy_ast.class_def -> Model.t -> Report.t list
 (** Reports for every resolvable [@sys] base class the subclass is not
     substitutable for. *)

@@ -10,7 +10,7 @@
 type env = string -> Model.t option
 (** Resolve a class name to its extracted model. *)
 
-val expanded_nfa : Model.t -> Nfa.t
+val expanded_nfa : ?limits:Limits.t -> Model.t -> Nfa.t
 (** The composite's *expanded* automaton: words interleave operation-entry
     events (the bare operation name, e.g. [open_a]) with the subsystem calls
     the operation's body performs (e.g. [a.test]). Acceptance at the
@@ -27,10 +27,15 @@ val subsystem_spec_nfa : env:env -> field:string -> subsystem_class:string -> Nf
     ([test] → [a.test]). [None] when the class is not in the environment. *)
 
 val check_subsystem :
-  env:env -> Model.t -> field:string -> subsystem_class:string -> Report.t option
+  ?limits:Limits.t ->
+  env:env ->
+  Model.t ->
+  field:string ->
+  subsystem_class:string ->
+  Report.t option
 (** [None] when the subsystem is used correctly. *)
 
-val check : env:env -> Model.t -> Report.t list
+val check : ?limits:Limits.t -> env:env -> Model.t -> Report.t list
 (** All declared subsystems of a composite, in declaration order. Also
     reports declared subsystems that are missing from [__init__] or whose
     class is unknown. For base classes, returns []. *)

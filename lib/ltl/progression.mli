@@ -25,17 +25,16 @@ val normalize : Ltlf.t -> Ltlf.t
 val accepts_empty : Ltlf.t -> bool
 (** Does the empty remainder satisfy the obligation? *)
 
-exception State_limit of int
-(** Raised when an automaton construction would exceed its state budget.
-    The obligation closure is finite but can be doubly exponential in the
-    formula size; the budget turns a pathological claim into a clean error
-    instead of an apparent hang. *)
-
-val to_dfa : ?max_states:int -> alphabet:Symbol.t list -> Ltlf.t -> Dfa.t
+val to_dfa : ?limits:Limits.t -> alphabet:Symbol.t list -> Ltlf.t -> Dfa.t
 (** The progression DFA over the given alphabet. The alphabet must cover
     every event the checked system can emit (atoms outside it can never
     hold, which is almost never what a claim means).
-    @raise State_limit beyond [max_states] (default 50000) states. *)
+
+    The obligation closure is finite but can be doubly exponential in the
+    formula size; the construction discovers at most [limits.max_states]
+    obligations (default {!Limits.default}), turning a pathological claim
+    into a clean typed error instead of an apparent hang.
+    @raise Limits.Budget_exceeded beyond [limits.max_states] states. *)
 
 val num_reachable_obligations : alphabet:Symbol.t list -> Ltlf.t -> int
 (** Size of the progression state space (before DFA minimization) —

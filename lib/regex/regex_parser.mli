@@ -14,9 +14,13 @@
     always part of an identifier. Used by the CLI's [lang] subcommand and the
     test-suite's round-trip properties. *)
 
-exception Parse_error of string
+exception Parse_error of string * int * int
+(** [(message, line, col)] — the line is 1-based and the column 0-based,
+    both pointing at the offending token (or character, for lexical
+    errors). *)
 
 val parse : string -> Regex.t
 (** @raise Parse_error on malformed input. *)
 
 val parse_result : string -> (Regex.t, string) result
+(** [Error] carries a human-readable ["line %d, col %d: %s"] message. *)

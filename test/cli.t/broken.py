@@ -1,0 +1,11 @@
+# One syntactically broken class followed by a valid one: the tolerant
+# parser must keep Probe and report the fault in Broken.
+class Broken:
+    def m(self)
+        return []
+
+@sys
+class Probe:
+    @op_initial_final
+    def ping(self):
+        return []

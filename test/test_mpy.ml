@@ -229,6 +229,74 @@ let test_parse_errors_have_positions () =
   | Mpy_parser.Parse_error (_, line, _) -> Alcotest.(check bool) "line recorded" true (line >= 3)
   | Mpy_lexer.Lex_error _ -> ())
 
+(* Table-driven corpus of malformed sources with the *exact* (line, col) the
+   lexer/parser must blame, plus a fragment of the message. Positions are
+   1-based lines and 0-based columns, matching the token positions. *)
+type expected_error =
+  | Lex of int * int * string
+  | Parse of int * int * string
+
+let position_corpus =
+  [
+    ("unterminated string dq", "s = \"oops\nx = 1\n", Lex (1, 4, "unterminated string"));
+    ("unterminated string sq", "s = 'oops\n", Lex (1, 4, "unterminated string"));
+    ("unterminated string at eof", "s = \"oops", Lex (1, 4, "unterminated string"));
+    ( "unterminated string second line",
+      "x = 1\ns = \"oops\n",
+      Lex (2, 4, "unterminated string") );
+    ("inconsistent dedent", "if a:\n        x()\n   y()\n", Lex (3, 3, "dedent"));
+    ("unexpected character", "x = 1\ny = $\n", Lex (2, 4, "unexpected character '$'"));
+    ("class missing colon", "class C\n    pass\n", Parse (1, 7, "expected ':'"));
+    ( "def missing colon",
+      "class C:\n    def m(self)\n        return []\n",
+      Parse (2, 15, "expected ':'") );
+    ( "nested def",
+      "class C:\n    def m(self):\n        def h():\n            pass\n",
+      Parse (3, 8, "nested function definitions") );
+    ("bad match pattern", "class C:\n    def m(self):\n        match x:\n            case !: pass\n",
+      Lex (4, 17, "unexpected character '!'"));
+    ("dangling expression", "x = )\n", Parse (1, 4, "expected an expression"));
+  ]
+
+let test_error_positions_exact () =
+  List.iter
+    (fun (name, source, expected) ->
+      let fail_got kind line col msg =
+        Alcotest.failf "%s: got %s at %d:%d (%s)" name kind line col msg
+      in
+      match Mpy_parser.parse_program source with
+      | _ -> Alcotest.failf "%s: expected an error" name
+      | exception Mpy_lexer.Lex_error (msg, line, col) -> (
+        match expected with
+        | Lex (el, ec, fragment) ->
+          Alcotest.(check (pair int int)) (name ^ ": position") (el, ec) (line, col);
+          Alcotest.(check bool) (name ^ ": message") true (Testutil.contains msg fragment)
+        | Parse _ -> fail_got "Lex_error" line col msg)
+      | exception Mpy_parser.Parse_error (msg, line, col) -> (
+        match expected with
+        | Parse (el, ec, fragment) ->
+          Alcotest.(check (pair int int)) (name ^ ": position") (el, ec) (line, col);
+          Alcotest.(check bool) (name ^ ": message") true (Testutil.contains msg fragment)
+        | Lex _ -> fail_got "Parse_error" line col msg))
+    position_corpus
+
+(* The tolerant parser must blame the same positions through its diagnostics. *)
+let test_tolerant_diagnostics_same_positions () =
+  List.iter
+    (fun (name, source, expected) ->
+      let _, diags = Mpy_parser.parse_program_tolerant source in
+      let el, ec =
+        match expected with
+        | Lex (l, c, _) | Parse (l, c, _) -> (l, c)
+      in
+      Alcotest.(check bool)
+        (name ^ ": diagnosed at same position")
+        true
+        (List.exists
+           (fun d -> d.Mpy_parser.diag_line = el && d.Mpy_parser.diag_col = ec)
+           diags))
+    position_corpus
+
 let test_parse_nested_def_rejected () =
   let source = "class C:\n    def m(self):\n        def helper():\n            pass\n" in
   Alcotest.(check bool) "rejected" true
@@ -476,6 +544,9 @@ let () =
           Alcotest.test_case "return tuple" `Quick test_parse_return_tuple;
           Alcotest.test_case "while and for" `Quick test_parse_while_for;
           Alcotest.test_case "errors have positions" `Quick test_parse_errors_have_positions;
+          Alcotest.test_case "error positions exact" `Quick test_error_positions_exact;
+          Alcotest.test_case "tolerant diagnostics positions" `Quick
+            test_tolerant_diagnostics_same_positions;
           Alcotest.test_case "nested def rejected" `Quick test_parse_nested_def_rejected;
           Alcotest.test_case "top-level program" `Quick test_parse_program_toplevel;
           Alcotest.test_case "expression" `Quick test_parse_expression;

@@ -210,6 +210,43 @@ let prop_shortest_member_is_shortest =
              (fun w' -> List.length w' >= List.length w)
              (Enumerate.words_upto ~max_len:(List.length w) r))
 
+(* --- Parser errors ----------------------------------------------------------- *)
+
+(* Exact (line, col) blamed by Regex_parser, consistent with Mpy_parser's
+   convention: 1-based lines, 0-based columns. *)
+let parse_error_corpus =
+  [
+    ("unclosed paren", "(a b", 1, 4, "expected ')' but found end of input");
+    ("stray rparen", "a b )", 1, 4, "expected end of input but found ')'");
+    ("leading plus", "+ a", 1, 0, "expected an expression but found '+'");
+    ("star alone", "*", 1, 0, "expected an expression but found '*'");
+    ("bad character", "a # b", 1, 2, "unexpected character '#'");
+    ("empty input", "", 1, 0, "expected an expression but found end of input");
+    ("error after newline", "a +\nb + ?", 2, 4, "unexpected character '?'");
+    ("trailing operator", "a \xc2\xb7", 1, 4, "expected an expression but found end of input");
+  ]
+
+let test_parse_error_positions () =
+  List.iter
+    (fun (name, input, line, col, message) ->
+      match Regex_parser.parse input with
+      | r -> Alcotest.failf "%s: parsed as %s" name (Regex.to_string r)
+      | exception Regex_parser.Parse_error (msg, l, c) ->
+        Alcotest.(check (pair int int)) (name ^ ": position") (line, col) (l, c);
+        Alcotest.(check string) (name ^ ": message") message msg)
+    parse_error_corpus
+
+let test_parse_result_formats_position () =
+  List.iter
+    (fun (name, input, line, col, message) ->
+      match Regex_parser.parse_result input with
+      | Ok _ -> Alcotest.failf "%s: unexpectedly parsed" name
+      | Error rendered ->
+        Alcotest.(check string) name
+          (Printf.sprintf "line %d, col %d: %s" line col message)
+          rendered)
+    parse_error_corpus
+
 let () =
   Alcotest.run "regex"
     [
@@ -226,6 +263,11 @@ let () =
           Alcotest.test_case "pp precedence" `Quick test_pp;
           Alcotest.test_case "pp constants" `Quick test_pp_constants;
           Alcotest.test_case "size and height" `Quick test_size_and_height;
+        ] );
+      ( "parser errors",
+        [
+          Alcotest.test_case "positions and messages" `Quick test_parse_error_positions;
+          Alcotest.test_case "parse_result rendering" `Quick test_parse_result_formats_position;
         ] );
       ( "derivatives",
         [
