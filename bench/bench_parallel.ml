@@ -1,0 +1,113 @@
+(* Parallel-checking benchmark: wall-clock for [shelley check -j N] levels
+   over a synthetic corpus, via the same {!Checker.check_files} entry the
+   CLI uses. Emits machine-readable results to BENCH_parallel.json and a
+   human summary to stdout, and asserts the determinism contract along the
+   way: the concatenated output of every jobs level must be byte-identical
+   to the sequential run.
+
+   Run: dune exec bench/bench_parallel.exe [CORPUS_SIZE] *)
+
+let corpus_size =
+  if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 24
+
+let repeats = 3
+
+(* One corpus file = the paper's two listings together: a composite class
+   with a claim, so each unit exercises parsing, inference, the product
+   check and the LTL checker — a realistic per-file workload. *)
+let file_source = Sources.valve ^ "\n" ^ Sources.bad_sector
+
+let write_corpus dir =
+  List.init corpus_size (fun i ->
+      let path = Filename.concat dir (Printf.sprintf "unit_%02d.py" i) in
+      let oc = open_out_bin path in
+      output_string oc file_source;
+      close_out oc;
+      path)
+
+let nproc () =
+  (* getconf is POSIX; fall back to 1 if unavailable. *)
+  let ic = Unix.open_process_in "getconf _NPROCESSORS_ONLN 2>/dev/null" in
+  let n = try int_of_string (String.trim (input_line ic)) with _ -> 1 in
+  ignore (Unix.close_process_in ic);
+  max 1 n
+
+let concat_output verdicts =
+  String.concat "" (List.map (fun v -> v.Checker.output) verdicts)
+
+let time_run ~jobs files =
+  let t0 = Unix.gettimeofday () in
+  let verdicts = Checker.check_files ~jobs files in
+  let dt = Unix.gettimeofday () -. t0 in
+  (dt, concat_output verdicts, Checker.exit_code verdicts)
+
+let () =
+  let dir = Filename.temp_file "shelley_bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let files = write_corpus dir in
+  let cores = nproc () in
+  let levels =
+    List.sort_uniq compare [ 1; 2; 4; cores ] |> List.filter (fun j -> j >= 1)
+  in
+  Printf.printf "parallel checking: %d files x %d repeats, %d core(s) online\n\n"
+    corpus_size repeats cores;
+  let baseline_output = ref "" in
+  let results =
+    List.map
+      (fun jobs ->
+        let runs =
+          List.init repeats (fun _ ->
+              let dt, out, code = time_run ~jobs files in
+              if !baseline_output = "" then baseline_output := out
+              else if out <> !baseline_output then begin
+                Printf.eprintf "DETERMINISM VIOLATION at -j %d\n" jobs;
+                exit 1
+              end;
+              if code <> 1 then begin
+                (* bad_sector's claim fails by design: every run must say so *)
+                Printf.eprintf "unexpected exit code %d at -j %d\n" code jobs;
+                exit 1
+              end;
+              dt)
+        in
+        let best = List.fold_left Float.min infinity runs in
+        Printf.printf "  -j %-2d  best %7.1f ms  (all: %s)\n" jobs (best *. 1000.)
+          (String.concat ", "
+             (List.map (fun t -> Printf.sprintf "%.1f ms" (t *. 1000.)) runs));
+        (jobs, best, runs))
+      levels
+  in
+  let seq_best =
+    match results with
+    | (1, best, _) :: _ -> best
+    | _ -> infinity
+  in
+  Printf.printf "\n";
+  List.iter
+    (fun (jobs, best, _) ->
+      if jobs > 1 then
+        Printf.printf "  speedup -j %d vs -j 1: %.2fx\n" jobs (seq_best /. best))
+    results;
+  let json =
+    let run_json (jobs, best, runs) =
+      Printf.sprintf
+        "    {\"jobs\": %d, \"best_seconds\": %.6f, \"all_seconds\": [%s], \
+         \"speedup_vs_sequential\": %.3f}"
+        jobs best
+        (String.concat ", " (List.map (Printf.sprintf "%.6f") runs))
+        (seq_best /. best)
+    in
+    Printf.sprintf
+      "{\n  \"benchmark\": \"parallel_checking\",\n  \"corpus_files\": %d,\n\
+      \  \"repeats\": %d,\n  \"cores_online\": %d,\n\
+      \  \"output_byte_identical_across_levels\": true,\n  \"results\": [\n%s\n  ]\n}\n"
+      corpus_size repeats cores
+      (String.concat ",\n" (List.map run_json results))
+  in
+  let oc = open_out_bin "BENCH_parallel.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote BENCH_parallel.json; output byte-identical across all levels\n";
+  List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) files;
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()

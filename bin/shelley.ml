@@ -2,10 +2,11 @@
    inspect extracted models, render diagrams, and emit NuSMV translations.
 
    Subcommands:
-     shelley check  FILE...            run the full verification pipeline
+     shelley check  FILE... [-j N] [--timeout S]   run the verification pipeline
      shelley model  FILE [-c CLASS]    print extracted model(s)
      shelley viz    FILE [-c CLASS]    DOT diagram (--deps for the §3.1 graph)
-     shelley nusmv  FILE -c CLASS      NuSMV translation
+     shelley nusmv  FILE -c CLASS      NuSMV translation (emission only)
+     shelley smv    FILE [--run] [--cross-check]   NuSMV translation + driver
      shelley trace  FILE -c CLASS TR   check an operation trace against a model
      shelley infer  EXPR               behavior inference of an IR program
 
@@ -13,7 +14,9 @@
      0  every file verified
      1  a verification failure (usage / claim / invocation / structural)
      2  a file could not be read or parsed cleanly
-     3  a resource budget was exceeded (see --max-states / --fuel) *)
+     3  a resource budget was exceeded — deterministic fuel
+        (--max-states / --fuel), the per-file wall-clock deadline
+        (--timeout), or a worker process that died checking the file *)
 
 open Cmdliner
 
@@ -95,7 +98,25 @@ let check_cmd =
                 checks. Exceeding it reports RESOURCE LIMIT EXCEEDED for the \
                 affected check and exits 3.")
   in
-  let run files warnings explain using max_states fuel =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Check files in N worker processes. Each file runs isolated in \
+                its own fork; results are printed in input order, so the \
+                output is byte-identical to a sequential run.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline per file. A file whose worker outlives it \
+                is killed, retried once under a reduced fuel budget, and \
+                finally reported as WALL-CLOCK DEADLINE EXCEEDED (exit 3) \
+                while every other file still completes.")
+  in
+  let run files warnings explain using max_states fuel jobs timeout =
     let extra_env =
       match Model_io.env_of_files using with
       | Ok env -> env
@@ -108,43 +129,18 @@ let check_cmd =
       Limits.make
         ~max_states:(Option.value max_states ~default:d.Limits.max_states)
         ~max_configs:(Option.value fuel ~default:d.Limits.max_configs)
-        ()
+        ?deadline:timeout ()
     in
     (* One file never aborts the others: each gets its own exit code
        (0 verified, 1 verification failure, 2 unreadable/syntax error,
-       3 resource limit) and the process exits with the maximum. *)
-    let code_of_file path =
-      match read_file path with
-      | exception Sys_error msg ->
-        Format.printf "== %s ==@." path;
-        Format.printf "Error: cannot read file: %s@.@." msg;
-        2
-      | source ->
-        let result = Pipeline.verify_source ~extra_env ~limits source in
-        let reports =
-          if warnings then result.Pipeline.reports
-          else Report.errors result.Pipeline.reports
-        in
-        if reports <> [] then begin
-          Format.printf "== %s ==@." path;
-          List.iter
-            (fun r ->
-              Format.printf "%a@.@." Report.pp r;
-              if explain then
-                List.iter
-                  (fun model ->
-                    match Explain.of_report ~model r with
-                    | Some explanation -> Format.printf "%a@.@." Explain.pp explanation
-                    | None -> ())
-                  result.Pipeline.models)
-            reports
-        end;
-        if List.exists Report.is_resource_limit result.Pipeline.reports then 3
-        else if List.exists Report.is_syntax_error result.Pipeline.reports then 2
-        else if not (Pipeline.verified result) then 1
-        else 0
+       3 resource limit / deadline / crashed worker) and the process exits
+       with the maximum. Checker renders per-file blocks in the workers and
+       replays them here in input order. *)
+    let verdicts =
+      Checker.check_files ~jobs ~limits ~warnings ~explain ~extra_env files
     in
-    let code = List.fold_left (fun acc path -> max acc (code_of_file path)) 0 files in
+    List.iter (fun (v : Checker.verdict) -> print_string v.Checker.output) verdicts;
+    let code = Checker.exit_code verdicts in
     if code = 0 then print_endline "OK: specification verified" else exit code
   in
   Cmd.v
@@ -154,9 +150,13 @@ let check_cmd =
            Cmd.Exit.info 0 ~doc:"every file verified.";
            Cmd.Exit.info 1 ~doc:"a verification failure was reported.";
            Cmd.Exit.info 2 ~doc:"a file could not be read or parsed cleanly.";
-           Cmd.Exit.info 3 ~doc:"a resource budget was exceeded.";
+           Cmd.Exit.info 3
+             ~doc:
+               "a resource budget was exceeded: deterministic fuel, the \
+                per-file wall-clock deadline, or a worker crash.";
          ])
-    Term.(const run $ files $ warnings $ explain $ using $ max_states $ fuel)
+    Term.(
+      const run $ files $ warnings $ explain $ using $ max_states $ fuel $ jobs $ timeout)
 
 (* --- model ----------------------------------------------------------------- *)
 
@@ -243,8 +243,115 @@ let nusmv_cmd =
     List.iter (fun m -> print_string (Nusmv.model_of_class m)) models
   in
   Cmd.v
-    (Cmd.info "nusmv" ~doc:"Translate models to NuSMV (the paper's §5 back end).")
+    (Cmd.info "nusmv"
+       ~doc:
+         "Translate models to NuSMV (the paper's §5 back end; emission only — \
+          see 'smv' for running the external checker).")
     Term.(const run $ file $ class_arg)
+
+(* --- smv ------------------------------------------------------------------- *)
+
+let smv_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let do_run =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:"Actually execute the external NuSMV binary on the emitted \
+                model(s) and classify its verdict instead of printing the \
+                translation.")
+  in
+  let cross =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:"With --run: compare the NuSMV claim verdict against the \
+                native checker's and report any divergence (exit 1).")
+  in
+  let binary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "binary" ] ~docv:"PATH"
+          ~doc:"NuSMV executable to use (default: search PATH for NuSMV, \
+                then nusmv).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline for one NuSMV run; the process is killed \
+                on expiry and the verdict is classified as a timeout (exit 3).")
+  in
+  let run file cls do_run cross binary timeout =
+    let result = or_die (load file) in
+    let models = or_die (select_models result cls) in
+    if (not do_run) && not cross then
+      List.iter (fun m -> print_string (Nusmv.model_of_class m)) models
+    else begin
+      (* The native claim verdict per class: any FAIL TO MEET REQUIREMENT
+         report. This is the dimension §5 delegates to NuSMV, so it is the
+         one --cross-check compares. *)
+      let native_claims_ok name =
+        not
+          (List.exists
+             (function
+               | Report.Requirement_failure { class_name; _ } ->
+                 String.equal class_name name
+               | _ -> false)
+             result.Pipeline.reports)
+      in
+      let code_of_model (m : Model.t) =
+        let r = Nusmv_driver.run_text ?binary ~timeout (Nusmv.model_of_class m) in
+        Format.printf "== %s ==@." m.Model.name;
+        Format.printf "NuSMV: %a@." Nusmv_driver.pp_verdict r.Nusmv_driver.verdict;
+        let code = Nusmv_driver.exit_code r.Nusmv_driver.verdict in
+        if not cross then code
+        else begin
+          let native_ok = native_claims_ok m.Model.name in
+          Format.printf "native claims: %s@."
+            (if native_ok then "verified" else "failed");
+          match r.Nusmv_driver.verdict with
+          | Nusmv_driver.Verified _ | Nusmv_driver.Counterexample _ ->
+            let nusmv_ok =
+              match r.Nusmv_driver.verdict with
+              | Nusmv_driver.Verified _ -> true
+              | _ -> false
+            in
+            if Bool.equal nusmv_ok native_ok then begin
+              Format.printf "cross-check: agreement@.";
+              code
+            end
+            else begin
+              Format.printf "cross-check: DIVERGENCE (native=%s, NuSMV=%s)@."
+                (if native_ok then "verified" else "failed")
+                (if nusmv_ok then "verified" else "failed");
+              max code 1
+            end
+          | _ ->
+            Format.printf "cross-check: skipped (no NuSMV verdict)@.";
+            code
+        end
+      in
+      let code = List.fold_left (fun acc m -> max acc (code_of_model m)) 0 models in
+      if code <> 0 then exit code
+    end
+  in
+  Cmd.v
+    (Cmd.info "smv"
+       ~doc:
+         "NuSMV back end: emit the translation, or with --run execute the \
+          external NuSMV on it (timeout-killed, output-classified), \
+          optionally cross-checking its claim verdicts against the native \
+          checker."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"emission only, or NuSMV verified every claim.";
+           Cmd.Exit.info 1 ~doc:"NuSMV reported a counterexample, or --cross-check found a divergence.";
+           Cmd.Exit.info 2 ~doc:"the input could not be loaded, or NuSMV rejected the emitted model.";
+           Cmd.Exit.info 3 ~doc:"the NuSMV binary is missing, timed out, or crashed.";
+         ])
+    Term.(const run $ file $ class_arg $ do_run $ cross $ binary $ timeout)
 
 (* --- trace ----------------------------------------------------------------- *)
 
@@ -519,6 +626,7 @@ let main_cmd =
       model_cmd;
       viz_cmd;
       nusmv_cmd;
+      smv_cmd;
       trace_cmd;
       infer_cmd;
       sample_cmd;

@@ -51,7 +51,8 @@ let of_report ~model (report : Report.t) =
     when String.equal class_name model.Model.name ->
     Some (of_usage_error ~model ~field ~subsystem_class ~counterexample ~failure)
   | Report.Invalid_subsystem_usage _ | Report.Requirement_failure _ | Report.Structural _
-  | Report.Syntax_error _ | Report.Resource_limit _ | Report.Internal_error _ ->
+  | Report.Syntax_error _ | Report.Resource_limit _ | Report.Internal_error _
+  | Report.Timeout _ | Report.Worker_crashed _ ->
     None
 
 let pp fmt t =

@@ -43,11 +43,22 @@ type t =
       check : string;
       message : string;
     }
+  | Timeout of {
+      unit_name : string;
+      seconds : float;
+      attempts : int;
+    }
+  | Worker_crashed of {
+      unit_name : string;
+      reason : string;
+      attempts : int;
+    }
 
 let severity = function
   | Invalid_subsystem_usage _ | Requirement_failure _ -> Error
   | Structural { severity; _ } -> severity
-  | Syntax_error _ | Resource_limit _ | Internal_error _ -> Error
+  | Syntax_error _ | Resource_limit _ | Internal_error _ | Timeout _ | Worker_crashed _ ->
+    Error
 
 let class_name = function
   | Invalid_subsystem_usage { class_name; _ }
@@ -56,6 +67,7 @@ let class_name = function
   | Resource_limit { class_name; _ }
   | Internal_error { class_name; _ } ->
     class_name
+  | Timeout { unit_name; _ } | Worker_crashed { unit_name; _ } -> unit_name
   | Syntax_error _ -> "<source>"
 
 let structural ?line severity ~class_name message =
@@ -66,13 +78,19 @@ let syntax_error ~line ~col message = Syntax_error { line; col; message }
 let is_syntax_error = function
   | Syntax_error _ -> true
   | Invalid_subsystem_usage _ | Requirement_failure _ | Structural _ | Resource_limit _
-  | Internal_error _ ->
+  | Internal_error _ | Timeout _ | Worker_crashed _ ->
     false
 
 let is_resource_limit = function
-  | Resource_limit _ -> true
+  | Resource_limit _ | Timeout _ -> true
   | Invalid_subsystem_usage _ | Requirement_failure _ | Structural _ | Syntax_error _
-  | Internal_error _ ->
+  | Internal_error _ | Worker_crashed _ ->
+    false
+
+let is_execution_fault = function
+  | Timeout _ | Worker_crashed _ -> true
+  | Invalid_subsystem_usage _ | Requirement_failure _ | Structural _ | Syntax_error _
+  | Resource_limit _ | Internal_error _ ->
     false
 
 let pp_severity fmt = function
@@ -135,6 +153,21 @@ let pp fmt = function
        Check: %s (skipped; other checks still ran)@,\
        Failure: %s@]"
       r.class_name r.check r.message
+  | Timeout r ->
+    Format.fprintf fmt
+      "@[<v>Error in verification: WALL-CLOCK DEADLINE EXCEEDED@,\
+       Unit: %s@,\
+       Deadline: %gs per attempt (%d attempt%s; the worker was killed; other \
+       units unaffected)@]"
+      r.unit_name r.seconds r.attempts
+      (if r.attempts = 1 then "" else "s")
+  | Worker_crashed r ->
+    Format.fprintf fmt
+      "@[<v>Error in verification: WORKER CRASHED@,\
+       Unit: %s@,\
+       Failure: %s (%d attempt%s; other units unaffected)@]"
+      r.unit_name r.reason r.attempts
+      (if r.attempts = 1 then "" else "s")
 
 let to_string t = Format.asprintf "%a" pp t
 

@@ -56,14 +56,32 @@ type t =
     }
       (** A check raised an unexpected exception; it was skipped and every
           other check still ran. *)
+  | Timeout of {
+      unit_name : string;  (** the file (or class) whose worker was killed *)
+      seconds : float;  (** the configured per-attempt wall-clock deadline *)
+      attempts : int;  (** 2 when the reduced-budget retry also timed out *)
+    }
+      (** A verification unit exceeded its wall-clock deadline
+          ({!Limits.t.deadline}) and its worker process was killed; every
+          other unit still completed. Counts as a resource limit for the
+          exit-code contract (exit 3). *)
+  | Worker_crashed of {
+      unit_name : string;
+      reason : string;  (** e.g. ["killed by SIGSEGV"] or ["exited with code 42"] *)
+      attempts : int;  (** 2 when the reduced-budget retry also crashed *)
+    }
+      (** A verification unit's worker process died without producing a
+          result (fatal signal, OOM kill, hard exit); every other unit still
+          completed. *)
 
 val severity : t -> severity
-(** [Syntax_error], [Resource_limit] and [Internal_error] are [Error]s:
-    verification did not complete, so the program cannot be claimed
-    verified. *)
+(** [Syntax_error], [Resource_limit], [Internal_error], [Timeout] and
+    [Worker_crashed] are [Error]s: verification did not complete, so the
+    program cannot be claimed verified. *)
 
 val class_name : t -> string
-(** ["<source>"] for [Syntax_error] (no class context). *)
+(** ["<source>"] for [Syntax_error] (no class context); the unit name (file
+    path or class) for [Timeout] / [Worker_crashed]. *)
 
 val structural : ?line:int -> severity -> class_name:string -> string -> t
 
@@ -72,6 +90,12 @@ val syntax_error : line:int -> col:int -> string -> t
 val is_syntax_error : t -> bool
 
 val is_resource_limit : t -> bool
+(** True for [Resource_limit] and [Timeout]: both mean a budget (fuel or
+    wall clock) ran out, and both map to exit code 3. *)
+
+val is_execution_fault : t -> bool
+(** True for [Timeout] and [Worker_crashed]: the unit's worker process died
+    rather than returning a verdict. *)
 
 val pp : Format.formatter -> t -> unit
 (** Paper-style rendering, e.g.

@@ -1,0 +1,122 @@
+type verdict = {
+  path : string;
+  output : string;
+  code : int;
+}
+
+(* Deliberate misbehavior for the fault-injection tests: a worker that hangs
+   (until the deadline kills it) or dies by SIGKILL (as the OOM killer
+   would), triggered by substring match on the checked path. *)
+let fault_hook path =
+  match Sys.getenv_opt "SHELLEY_FAULT" with
+  | None | Some "" -> ()
+  | Some spec ->
+    String.split_on_char ',' spec
+    |> List.iter (fun entry ->
+           match String.index_opt entry ':' with
+           | None -> ()
+           | Some i ->
+             let kind = String.sub entry 0 i in
+             let substr = String.sub entry (i + 1) (String.length entry - i - 1) in
+             let matches =
+               substr <> ""
+               && String.length path >= String.length substr
+               && List.exists
+                    (fun off -> String.sub path off (String.length substr) = substr)
+                    (List.init (String.length path - String.length substr + 1) Fun.id)
+             in
+             if matches then
+               match kind with
+               | "hang" ->
+                 while true do
+                   Unix.sleepf 0.05
+                 done
+               | "crash" -> Unix.kill (Unix.getpid ()) Sys.sigkill
+               | _ -> ())
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Renders exactly what the sequential `shelley check` loop has always
+   printed, but into a buffer, so the parent process can replay blocks in
+   input order no matter which worker finished first. *)
+let check_file ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
+    ?(extra_env = fun _ -> None) path =
+  fault_hook path;
+  match read_file path with
+  | exception Sys_error msg ->
+    {
+      path;
+      output = Format.asprintf "== %s ==@.Error: cannot read file: %s@.@." path msg;
+      code = 2;
+    }
+  | source ->
+    let result = Pipeline.verify_source ~extra_env ~limits source in
+    let reports =
+      if warnings then result.Pipeline.reports else Report.errors result.Pipeline.reports
+    in
+    let buf = Buffer.create 256 in
+    let fmt = Format.formatter_of_buffer buf in
+    if reports <> [] then begin
+      Format.fprintf fmt "== %s ==@." path;
+      List.iter
+        (fun r ->
+          Format.fprintf fmt "%a@.@." Report.pp r;
+          if explain then
+            List.iter
+              (fun model ->
+                match Explain.of_report ~model r with
+                | Some explanation -> Format.fprintf fmt "%a@.@." Explain.pp explanation
+                | None -> ())
+              result.Pipeline.models)
+        reports
+    end;
+    Format.pp_print_flush fmt ();
+    let code =
+      if List.exists Report.is_resource_limit result.Pipeline.reports then 3
+      else if List.exists Report.is_syntax_error result.Pipeline.reports then 2
+      else if not (Pipeline.verified result) then 1
+      else 0
+    in
+    { path; output = Buffer.contents buf; code }
+
+let fault_block path report =
+  Format.asprintf "== %s ==@.%a@.@." path Report.pp report
+
+let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?extra_env
+    paths =
+  (* Workers send back (output, code) only: plain marshal-safe data. The
+     verdict's [path] is re-attached from the input list, which also keeps
+     aggregation in input order. *)
+  let payload limits path =
+    let v = check_file ~limits ?warnings ?explain ?extra_env path in
+    (v.output, v.code)
+  in
+  let outcomes =
+    Runner.map ~jobs ?deadline:limits.Limits.deadline
+      ~retry:(payload (Limits.reduced limits))
+      ~f:(payload limits) paths
+  in
+  List.map2
+    (fun path outcome ->
+      match outcome with
+      | Runner.Done (output, code) -> { path; output; code }
+      | Runner.Timed_out { seconds; attempts } ->
+        {
+          path;
+          output = fault_block path (Report.Timeout { unit_name = path; seconds; attempts });
+          code = 3;
+        }
+      | Runner.Crashed { reason; attempts } ->
+        {
+          path;
+          output =
+            fault_block path (Report.Worker_crashed { unit_name = path; reason; attempts });
+          code = 3;
+        })
+    paths outcomes
+
+let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts

@@ -1,0 +1,63 @@
+(** Parallel, fault-isolated driving of the verification pipeline over
+    files — the engine behind [shelley check -j N --timeout S].
+
+    Each file is one verification unit: a worker process parses, extracts
+    and checks it ({!Pipeline.verify_source}) and sends back the fully
+    rendered report block plus the per-file exit code. Because workers
+    return {e rendered text} (not interned symbols or models, which are not
+    stable across process boundaries), the parent only concatenates blocks
+    in input order — so the aggregate output is byte-identical for
+    [jobs = 1] and [jobs = N], and a unit's block depends only on that
+    unit.
+
+    A unit that exceeds {!Limits.t.deadline} or whose worker dies is
+    retried once under {!Limits.reduced} (so a fuel-reachable blowup
+    resurfaces as a deterministic [Resource_limit] report instead of a
+    bare timeout); a failed retry yields a {!Report.Timeout} /
+    {!Report.Worker_crashed} block and per-file code 3 while every other
+    unit still completes. *)
+
+type verdict = {
+  path : string;
+  output : string;
+      (** the file's full report block, ["== path ==…"], empty when the
+          file verified silently *)
+  code : int;  (** per-file exit code: 0 / 1 / 2 / 3, see {!exit_code} *)
+}
+
+val check_file :
+  ?limits:Limits.t ->
+  ?warnings:bool ->
+  ?explain:bool ->
+  ?extra_env:Usage.env ->
+  string ->
+  verdict
+(** Check one file in the current process (no fork, no deadline): read,
+    verify tolerantly, render. Never raises on unreadable or broken input —
+    that is a rendered error block with code 2. *)
+
+val check_files :
+  ?jobs:int ->
+  ?limits:Limits.t ->
+  ?warnings:bool ->
+  ?explain:bool ->
+  ?extra_env:Usage.env ->
+  string list ->
+  verdict list
+(** All files, in input order, through a {!Runner} pool of [jobs] workers
+    (default 1) with [limits.deadline] as the per-unit wall clock. With
+    [jobs <= 1] and no deadline this degenerates to {!check_file} in-process. *)
+
+val exit_code : verdict list -> int
+(** The process exit code: the maximum per-file code. 0 = every file
+    verified; 1 = a verification failure; 2 = unreadable / syntax error;
+    3 = a resource budget was exceeded — deterministic fuel, the wall-clock
+    deadline, or a crashed worker. *)
+
+val fault_hook : string -> unit
+(** Test seam for the fault-isolation contract. When the [SHELLEY_FAULT]
+    environment variable is set to [KIND:SUBSTR] (comma-separated entries
+    allowed), a checked path containing [SUBSTR] misbehaves before parsing:
+    [hang] spins forever (exercises the deadline killer), [crash] raises
+    SIGKILL against its own process (exercises crash isolation). Unset in
+    normal operation; ignored entries are harmless. *)

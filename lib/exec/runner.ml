@@ -1,0 +1,216 @@
+type 'r outcome =
+  | Done of 'r
+  | Timed_out of {
+      seconds : float;
+      attempts : int;
+    }
+  | Crashed of {
+      reason : string;
+      attempts : int;
+    }
+
+let signal_name n =
+  if n = Sys.sigkill then "SIGKILL"
+  else if n = Sys.sigsegv then "SIGSEGV"
+  else if n = Sys.sigabrt then "SIGABRT"
+  else if n = Sys.sigbus then "SIGBUS"
+  else if n = Sys.sigill then "SIGILL"
+  else if n = Sys.sigfpe then "SIGFPE"
+  else if n = Sys.sigterm then "SIGTERM"
+  else if n = Sys.sigint then "SIGINT"
+  else if n = Sys.sigpipe then "SIGPIPE"
+  else if n = Sys.sigalrm then "SIGALRM"
+  else if n = Sys.sighup then "SIGHUP"
+  else if n = Sys.sigquit then "SIGQUIT"
+  else Printf.sprintf "signal %d" n
+
+(* One live worker process. [buf] accumulates the child's marshaled result;
+   the message is complete only at EOF on [fd] (the pipe's sole writer is the
+   child, which closes it — by exiting — once the payload is flushed). *)
+type worker = {
+  idx : int;
+  pid : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  deadline_at : float option;  (* absolute, Unix.gettimeofday clock *)
+  attempt : int;
+}
+
+(* The child writes its payload with raw [Unix.write] and leaves with
+   [Unix._exit]: no [at_exit] handlers, no flushing of stdio buffers
+   inherited (pre-filled!) from the parent — a forked child that touched the
+   parent's Format/stdout machinery would duplicate pending output. *)
+let child_main ~task ~wr f =
+  (* Become a session/group leader so a deadline kill can take out any
+     subprocess the task spawned along with the worker itself. *)
+  (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+  let result =
+    match f task with
+    | r -> (Ok r : (_, string) result)
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let bytes =
+    match Marshal.to_bytes result [] with
+    | b -> b
+    | exception exn ->
+      Marshal.to_bytes
+        ((Error ("unmarshalable worker result: " ^ Printexc.to_string exn))
+          : (_, string) result)
+        []
+  in
+  let len = Bytes.length bytes in
+  let rec write_all pos =
+    if pos < len then
+      match Unix.write wr bytes pos (len - pos) with
+      | k -> write_all (pos + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all pos
+  in
+  (try write_all 0 with _ -> ());
+  (try Unix.close wr with _ -> ());
+  Unix._exit 0
+
+let rec waitpid_no_eintr pid =
+  match Unix.waitpid [] pid with
+  | _, status -> status
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_no_eintr pid
+
+(* Decode a reaped worker's exit status + accumulated payload. *)
+let classify ~attempt status buf : _ outcome =
+  match status with
+  | Unix.WEXITED 0 -> (
+    let data = Buffer.to_bytes buf in
+    match (Marshal.from_bytes data 0 : (_, string) result) with
+    | Ok r -> Done r
+    | Error reason -> Crashed { reason; attempts = attempt }
+    | exception _ ->
+      Crashed { reason = "worker returned a truncated result"; attempts = attempt })
+  | Unix.WEXITED code ->
+    Crashed { reason = Printf.sprintf "exited with code %d" code; attempts = attempt }
+  | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+    Crashed { reason = "killed by " ^ signal_name n; attempts = attempt }
+
+let run_inline ?retry ~f tasks =
+  let attempt_with g x ~attempts =
+    match g x with
+    | r -> Done r
+    | exception exn -> Crashed { reason = Printexc.to_string exn; attempts }
+  in
+  List.map
+    (fun x ->
+      match attempt_with f x ~attempts:1 with
+      | Done _ as done_ -> done_
+      | Timed_out _ | Crashed _ as failed -> (
+        match retry with
+        | None -> failed
+        | Some g -> attempt_with g x ~attempts:2))
+    tasks
+
+let map ?(jobs = 1) ?deadline ?retry ~f tasks =
+  let n = List.length tasks in
+  if n = 0 then []
+  else if jobs <= 1 && deadline = None then run_inline ?retry ~f tasks
+  else begin
+    let tasks = Array.of_list tasks in
+    let results = Array.make n None in
+    let pending = Queue.create () in
+    Array.iteri (fun i _ -> Queue.add (i, 1) pending) tasks;
+    let workers = ref [] in
+    (* A failed first attempt goes back on the queue when a retry function is
+       available; otherwise (or on a failed second attempt) it is final. *)
+    let settle idx attempt outcome =
+      if attempt = 1 && retry <> None then Queue.add (idx, 2) pending
+      else results.(idx) <- Some outcome
+    in
+    let spawn idx attempt =
+      (* Flush before forking: anything buffered would otherwise be written
+         twice if the child ever touches the same channels. *)
+      flush stdout;
+      flush stderr;
+      let g = if attempt = 1 then f else Option.get retry in
+      match Unix.pipe () with
+      | exception exn ->
+        settle idx attempt (Crashed { reason = Printexc.to_string exn; attempts = attempt })
+      | rd, wr -> (
+        match Unix.fork () with
+        | exception exn ->
+          Unix.close rd;
+          Unix.close wr;
+          settle idx attempt
+            (Crashed { reason = Printexc.to_string exn; attempts = attempt })
+        | 0 ->
+          Unix.close rd;
+          child_main ~task:tasks.(idx) ~wr g
+        | pid ->
+          Unix.close wr;
+          let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
+          workers :=
+            { idx; pid; fd = rd; buf = Buffer.create 1024; deadline_at; attempt }
+            :: !workers)
+    in
+    let drop w = workers := List.filter (fun w' -> w'.pid <> w.pid) !workers in
+    (* EOF on the pipe: the child is done writing (or dead) — reap it. *)
+    let finish w =
+      drop w;
+      (try Unix.close w.fd with _ -> ());
+      let status = waitpid_no_eintr w.pid in
+      settle w.idx w.attempt (classify ~attempt:w.attempt status w.buf)
+    in
+    let kill_expired w =
+      drop w;
+      (try Unix.close w.fd with _ -> ());
+      (try Unix.kill (-w.pid) Sys.sigkill with Unix.Unix_error _ -> ());
+      (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (waitpid_no_eintr w.pid);
+      settle w.idx w.attempt
+        (Timed_out { seconds = Option.get deadline; attempts = w.attempt })
+    in
+    let chunk = Bytes.create 65536 in
+    while !workers <> [] || not (Queue.is_empty pending) do
+      while List.length !workers < max 1 jobs && not (Queue.is_empty pending) do
+        let idx, attempt = Queue.pop pending in
+        spawn idx attempt
+      done;
+      if !workers <> [] then begin
+        let now = Unix.gettimeofday () in
+        let select_timeout =
+          List.fold_left
+            (fun acc w ->
+              match w.deadline_at with
+              | None -> acc
+              | Some d ->
+                let left = max 0.0 (d -. now) in
+                if acc < 0.0 then left else Float.min acc left)
+            (-1.0) !workers
+        in
+        let readable, _, _ =
+          try Unix.select (List.map (fun w -> w.fd) !workers) [] [] select_timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun w -> w.fd = fd) !workers with
+            | None -> ()
+            | Some w -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> finish w
+              | k -> Buffer.add_subbytes w.buf chunk 0 k
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+              | exception Unix.Unix_error _ -> finish w))
+          readable;
+        let now = Unix.gettimeofday () in
+        List.iter
+          (fun w ->
+            match w.deadline_at with
+            | Some d when now >= d -> kill_expired w
+            | _ -> ())
+          !workers
+      end
+    done;
+    Array.to_list results
+    |> List.map (function
+         | Some outcome -> outcome
+         | None ->
+           (* Unreachable: every queued (idx, attempt) either settles or
+              re-queues exactly once, and the loop drains both sets. *)
+           Crashed { reason = "worker was never scheduled"; attempts = 0 })
+  end

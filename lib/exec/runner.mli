@@ -1,0 +1,68 @@
+(** Fork-based worker pool with per-task wall-clock deadlines.
+
+    [Runner] is the fault-isolation layer under [shelley check -j]: each
+    task runs in its own forked child process, so a hang, a fatal signal,
+    a stack-smashing native bug or an OOM kill in one task cannot take
+    down the run — it surfaces as a structured {!outcome} while every
+    other task completes. This is the same containment discipline
+    verification stacks apply to external solvers (kill on deadline,
+    classify the corpse), applied to our own checks.
+
+    Guarantees:
+
+    - {b Determinism}: outcomes are returned in input order, independent
+      of completion order and of [jobs]. A pure [f] therefore yields
+      byte-identical aggregate output for [jobs = 1] and [jobs = N].
+    - {b Isolation}: a child that dies (signal, [exit], OOM) or exceeds
+      the deadline is reaped and classified; no exception escapes {!map}.
+    - {b Degradation}: with [retry], a timed-out or crashed task is
+      re-run once — callers pass a reduced-budget variant of the task
+      (see {!Limits.reduced}) so the second attempt fails fast and
+      deterministically instead of re-burning the full deadline.
+
+    Results cross the process boundary via [Marshal], so ['r] must be
+    marshal-safe: no closures, no custom blocks. Strings, ints, and
+    plain variants/records of those are fine. Interned {!Symbol.t}
+    values must {e not} be sent back (the child's intern table may have
+    grown past the parent's) — render them to strings in the child.
+
+    When [jobs <= 1] and no deadline is set, {!map} runs tasks inline in
+    the parent (no fork): the zero-cost path for the common
+    [shelley check file.py] invocation. *)
+
+type 'r outcome =
+  | Done of 'r
+  | Timed_out of {
+      seconds : float;  (** the configured per-attempt deadline *)
+      attempts : int;
+    }
+  | Crashed of {
+      reason : string;  (** e.g. ["killed by SIGKILL"], ["exited with code 42"] *)
+      attempts : int;
+    }
+
+val map :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?retry:('a -> 'r) ->
+  f:('a -> 'r) ->
+  'a list ->
+  'r outcome list
+(** [map ~jobs ~deadline ~retry ~f tasks] applies [f] to every task in a
+    pool of at most [jobs] (default 1) concurrent worker processes,
+    killing any worker that runs longer than [deadline] seconds
+    (default: no deadline), and returns the outcomes in input order.
+
+    An exception raised by [f] inside a worker is contained and
+    classified as {!Crashed} with the exception text as [reason] (the
+    pipeline's own exception barrier means this only fires for faults
+    outside {!Pipeline.verify_source}).
+
+    [retry] (default: none) is invoked — in a fresh worker, under the
+    same deadline — for a task whose first attempt timed out or crashed;
+    its failure is final, reported with [attempts = 2]. *)
+
+val signal_name : int -> string
+(** Human-readable name for an OCaml [Sys] signal number (["SIGKILL"],
+    ["SIGSEGV"], …); ["signal <n>"] for unknown ones. Exposed for
+    tests. *)

@@ -2,6 +2,7 @@ type t = {
   max_states : int;
   max_configs : int;
   max_regex_size : int;
+  deadline : float option;
 }
 
 exception Budget_exceeded of { resource : string; limit : int }
@@ -12,12 +13,25 @@ let () =
       Some (Printf.sprintf "Limits.Budget_exceeded(%s, limit %d)" resource limit)
     | _ -> None)
 
-let default = { max_states = 50_000; max_configs = 1_000_000; max_regex_size = 500_000 }
-let unlimited = { max_states = max_int; max_configs = max_int; max_regex_size = max_int }
+let default =
+  { max_states = 50_000; max_configs = 1_000_000; max_regex_size = 500_000; deadline = None }
+
+let unlimited =
+  { max_states = max_int; max_configs = max_int; max_regex_size = max_int; deadline = None }
 
 let make ?(max_states = default.max_states) ?(max_configs = default.max_configs)
-    ?(max_regex_size = default.max_regex_size) () =
-  { max_states; max_configs; max_regex_size }
+    ?(max_regex_size = default.max_regex_size) ?deadline () =
+  { max_states; max_configs; max_regex_size; deadline }
+
+(* /10 keeps the retry's fuel proportional to the configured budget, so a
+   user-raised budget still degrades rather than resetting to a constant. *)
+let reduced t =
+  {
+    max_states = max 1 (t.max_states / 10);
+    max_configs = max 1 (t.max_configs / 10);
+    max_regex_size = max 1 (t.max_regex_size / 10);
+    deadline = t.deadline;
+  }
 
 let exceeded ~resource ~limit = raise (Budget_exceeded { resource; limit })
 let check ~resource ~limit n = if n > limit then exceeded ~resource ~limit

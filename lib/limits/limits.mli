@@ -8,6 +8,15 @@
     states / explored configurations / regex nodes), not wall-clock
     timeouts, so exhaustion is deterministic and reproducible.
 
+    The one exception is {!field-deadline}: a wall-clock bound per
+    verification *unit* (a whole file or class), enforced not by the checks
+    themselves but by the fork-based worker pool ({!Runner}), which kills
+    the unit's worker process when the deadline passes. Fuel bounds a
+    construction from the inside; the deadline bounds a unit from the
+    outside, catching whatever fuel cannot see (pathological GC churn,
+    runaway native code, an unbounded loop outside any budgeted
+    construction).
+
     The pipeline ({!Pipeline.verify_program}) runs every check behind an
     exception barrier that converts [Budget_exceeded] into a structured
     [Resource_limit] report, so one pathological check degrades gracefully
@@ -24,6 +33,11 @@ type t = {
   max_regex_size : int;
       (** Cap on the AST size of behavior regexes fed to automaton
           constructions (guards Glushkov blowup in {!Usage.expanded_nfa}). *)
+  deadline : float option;
+      (** Wall-clock seconds granted to one verification unit before its
+          worker process is killed ({!Runner}); [None] = no deadline. Unlike
+          the fuel fields this is inherently nondeterministic — it exists to
+          isolate hangs the fuel counters cannot reach. *)
 }
 
 exception Budget_exceeded of { resource : string; limit : int }
@@ -32,15 +46,30 @@ exception Budget_exceeded of { resource : string; limit : int }
 
 val default : t
 (** [max_states = 50_000], [max_configs = 1_000_000],
-    [max_regex_size = 500_000] — far above anything a realistic model
-    needs, low enough to bound runaway constructions within seconds. *)
+    [max_regex_size = 500_000], [deadline = None] — far above anything a
+    realistic model needs, low enough to bound runaway constructions within
+    seconds. *)
 
 val unlimited : t
-(** Every field [max_int]; opt out of budgeting entirely. *)
+(** Every fuel field [max_int], no deadline; opt out of budgeting
+    entirely. *)
 
 val make :
-  ?max_states:int -> ?max_configs:int -> ?max_regex_size:int -> unit -> t
+  ?max_states:int ->
+  ?max_configs:int ->
+  ?max_regex_size:int ->
+  ?deadline:float ->
+  unit ->
+  t
 (** Missing fields default to {!default}'s values. *)
+
+val reduced : t -> t
+(** The degraded budget used for the retry after a unit times out or
+    crashes: every fuel field divided by 10 (floor 1), same deadline. The
+    intent is that a unit whose first attempt blew the wall clock exhausts
+    its (deterministic) fuel well before the deadline on the second attempt,
+    so the user sees a reproducible [Resource_limit] report naming the
+    hungry construction instead of a bare timeout. *)
 
 val exceeded : resource:string -> limit:int -> 'a
 (** @raise Budget_exceeded always. *)

@@ -15,23 +15,38 @@
     first [_end] is read; claims φ become [LTLSPEC] over the same event
     variable. *)
 
-val module_of_dfa : name:string -> Dfa.t -> string
+val module_of_dfa : ?universality_spec:bool -> name:string -> Dfa.t -> string
 (** A NuSMV [MODULE main] whose [event] variable ranges over the DFA
     alphabet plus [_end]; the boolean [accept] holds exactly when the run so
-    far is accepted. Includes an [INVARSPEC] template marker comment. *)
+    far is accepted. With [universality_spec] (default [true]) the module
+    ends with [LTLSPEC G (event = e_end -> accept)] — a *descriptive* spec
+    that holds only for universal languages; pass [false] when the emission
+    is meant to be fed to a real NuSMV run whose verdict matters. *)
 
-val module_of_nfa : name:string -> Nfa.t -> string
+val module_of_nfa : ?universality_spec:bool -> name:string -> Nfa.t -> string
 (** Determinizes first, then {!module_of_dfa}. *)
 
 val ltlspec_of_claim : Ltlf.t -> string
 (** The LTLf claim compiled as a NuSMV [LTLSPEC] line over the [event]
     variable, using the standard finite-trace embedding: the formula is
-    rewritten over the alive-prefix (before the first [_end]). *)
+    rewritten over the alive-prefix (before the first [_end]). Unguarded:
+    quantifies over {e every} event sequence. *)
+
+val ltlspec_of_claim_checked : Ltlf.t -> string
+(** The claim guarded by "the path plays a finite word the automaton
+    accepts" — the embedding whose NuSMV verdict matches the native
+    checker's claim verdict (claims are properties of valid usages only).
+    Used by {!model_of_class}; the one caveat is the empty usage, which the
+    ω-embedding cannot distinguish from an immediately-ended word. *)
 
 val model_of_class : Model.t -> string
-(** Full NuSMV file for a composite class: the expanded automaton module and
-    one LTLSPEC per claim. *)
+(** Full NuSMV file for a composite class: the expanded automaton module
+    (without the universality spec) and one {!ltlspec_of_claim_checked} per
+    claim — the file [shelley smv --run] executes. *)
 
 val sanitize : string -> string
-(** Make an event name a valid NuSMV identifier (dots become [__]).
-    Exposed for tests. *)
+(** Make an event name a valid NuSMV identifier: dots become [__], other
+    illegal characters become [_], and a result that is empty, starts with
+    a digit, or collides with a NuSMV reserved word (e.g. [case], [next],
+    [MODULE], [G]) is prefixed with [_]. Exposed for tests — this is a
+    stable contract the external driver relies on. *)

@@ -1,0 +1,69 @@
+(** Hardened driver for the external NuSMV model checker.
+
+    The paper's Shelley "delegates the actual model checking to NuSMV"
+    (§5); {!Nusmv} provides the translation, and this module actually runs
+    the external binary on it — with the containment any external-solver
+    driver needs: a wall-clock timeout with a kill, captured stdout/stderr,
+    and classification of every way the tool can come back (verified,
+    counterexample, input rejected, died, absent). The driver never raises
+    on tool misbehavior: absence of the binary, a hang, or a crash are all
+    ordinary {!verdict}s, so [shelley smv --run] degrades gracefully on
+    machines without NuSMV installed.
+
+    Verdict classification is a pure function over (exit status, stdout,
+    stderr) — {!classify_output} — so it is unit-testable without the
+    binary. *)
+
+type verdict =
+  | Verified of { specs : int }
+      (** exit 0 and every [-- specification … is true] *)
+  | Counterexample of { failed : string list }
+      (** the [-- specification … is false] lines, verbatim *)
+  | Rejected_input of { detail : string }
+      (** NuSMV could not parse / type-check the model we emitted *)
+  | Tool_missing of { searched : string list }
+      (** no runnable binary; [searched] are the names/paths tried *)
+  | Tool_timeout of { seconds : float }  (** killed at the deadline *)
+  | Tool_failed of {
+      reason : string;  (** e.g. ["exited with code 1"], ["killed by SIGSEGV"] *)
+      detail : string;  (** trailing stderr, for the diagnostic *)
+    }
+
+type run = {
+  verdict : verdict;
+  stdout : string;
+  stderr : string;
+}
+
+val default_binaries : string list
+(** [["NuSMV"; "nusmv"]] — the capitalization NuSMV ships under, then the
+    common distro-package spelling. *)
+
+val find_binary : ?binary:string -> unit -> (string, string list) result
+(** Resolve the NuSMV executable: [binary] verbatim when it contains a
+    [/], otherwise a PATH search over [binary] (or {!default_binaries}
+    when omitted). [Error searched] lists what was tried. *)
+
+val classify_output :
+  status:Unix.process_status -> stdout:string -> stderr:string -> verdict
+(** Pure classification of a finished run (never {!Tool_missing} /
+    {!Tool_timeout}; those are decided by the spawn/deadline layer). *)
+
+val run_file : ?binary:string -> ?timeout:float -> string -> run
+(** Run NuSMV on a model file. [timeout] (default 30s) is enforced with
+    SIGKILL; stdout/stderr are captured concurrently (no pipe deadlock on
+    chatty counterexamples). Never raises on tool failure. *)
+
+val run_text : ?binary:string -> ?timeout:float -> string -> run
+(** {!run_file} on a temp file holding the given model text; the temp file
+    is always removed. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+(** One-line human rendering, e.g.
+    ["verified (3 specs true)"] or
+    ["NuSMV binary not found (searched: NuSMV, nusmv)"]. *)
+
+val exit_code : verdict -> int
+(** The [shelley smv --run] contract: 0 {!Verified}, 1 {!Counterexample},
+    2 {!Rejected_input}, 3 {!Tool_missing} / {!Tool_timeout} /
+    {!Tool_failed}. *)

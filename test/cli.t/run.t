@@ -190,3 +190,90 @@ rejected up front by argument parsing, and the remaining files still run:
   Error: cannot read file: no_such_file.py: No such file or directory
   
   [2]
+
+Parallel checking: -j N forks one worker per file and replays the report
+blocks in input order, so the output is byte-identical to a sequential run
+(same bytes, same exit code):
+
+  $ shelley check valve.py bad_sector.py broken.py > seq.out 2>&1; echo "exit $?"
+  exit 2
+  $ shelley check -j 4 valve.py bad_sector.py broken.py > par.out 2>&1; echo "exit $?"
+  exit 2
+  $ cmp seq.out par.out && echo identical
+  identical
+
+Wall-clock deadlines: a unit that hangs (induced via the SHELLEY_FAULT test
+hook) is killed at the deadline, retried once under a reduced fuel budget,
+and reported as a structured diagnostic. Every other file still completes,
+and the run exits 3 — the resource-limit code covers wall-clock timeouts
+too, since both mean "a budget ran out before a verdict":
+
+  $ SHELLEY_FAULT=hang:valve shelley check -j 2 --timeout 1 valve.py bad_sector.py
+  == valve.py ==
+  Error in verification: WALL-CLOCK DEADLINE EXCEEDED
+  Unit: valve.py
+  Deadline: 1s per attempt (2 attempts; the worker was killed; other units unaffected)
+  
+  == bad_sector.py ==
+  Error in specification: INVALID SUBSYSTEM USAGE
+  Counter example: open_a, a.test, a.open
+  Subsystems errors:
+    * Valve 'a': test, >open< (not final)
+  
+  Error in specification: FAIL TO MEET REQUIREMENT
+  Formula: (!a.open) W b.open
+  Counter example: a.test, a.open
+  
+  [3]
+
+A worker killed outright (here by SIGKILL, as the kernel's OOM killer would)
+is isolated and classified the same way, with the healthy file unaffected:
+
+  $ SHELLEY_FAULT=crash:bad_sector shelley check -j 2 --timeout 5 valve.py bad_sector.py
+  == bad_sector.py ==
+  Error in verification: WORKER CRASHED
+  Unit: bad_sector.py
+  Failure: killed by SIGKILL (2 attempts; other units unaffected)
+  
+  [3]
+
+The smv subcommand emits the NuSMV translation (like nusmv) and with --run
+executes the external checker. When the binary is absent the driver degrades
+gracefully: a clear diagnostic and the classified exit 3, never a crash:
+
+  $ shelley smv valve.py --run --binary ./no-such-nusmv
+  == Valve ==
+  NuSMV: NuSMV binary not found (searched: ./no-such-nusmv)
+  [3]
+
+A stub binary exercises the full spawn/classify path hermetically. A stub
+that reports every spec false agrees with the native checker on bad_sector
+(whose claim really fails), so the cross-check accepts and the exit code is
+the counterexample's:
+
+  $ cat > fake_false <<'EOF'
+  > #!/bin/sh
+  > echo '-- specification bogus  is false'
+  > EOF
+  $ chmod +x fake_false
+  $ shelley smv bad_sector.py -c BadSector --run --cross-check --binary ./fake_false
+  == BadSector ==
+  NuSMV: counterexample (1 spec false)
+  native claims: failed
+  cross-check: agreement
+  [1]
+
+A stub that claims everything verified diverges from the native verdict on
+the same class, and the divergence is reported with exit 1:
+
+  $ cat > fake_true <<'EOF'
+  > #!/bin/sh
+  > echo '-- specification bogus  is true'
+  > EOF
+  $ chmod +x fake_true
+  $ shelley smv bad_sector.py -c BadSector --run --cross-check --binary ./fake_true
+  == BadSector ==
+  NuSMV: verified (1 spec true)
+  native claims: failed
+  cross-check: DIVERGENCE (native=failed, NuSMV=verified)
+  [1]

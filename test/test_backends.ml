@@ -133,6 +133,21 @@ let test_sanitize () =
   Alcotest.(check string) "plain" "open_a" (Nusmv.sanitize "open_a");
   Alcotest.(check string) "weird" "x_y" (Nusmv.sanitize "x%y")
 
+(* The sanitize contract the external driver relies on: always a legal NuSMV
+   identifier, even for keyword-colliding or digit-leading operation names. *)
+let test_sanitize_hardened () =
+  Alcotest.(check string) "keyword case" "_case" (Nusmv.sanitize "case");
+  Alcotest.(check string) "keyword next" "_next" (Nusmv.sanitize "next");
+  Alcotest.(check string) "keyword MODULE" "_MODULE" (Nusmv.sanitize "MODULE");
+  Alcotest.(check string) "keyword G (LTL operator)" "_G" (Nusmv.sanitize "G");
+  Alcotest.(check string) "keyword self" "_self" (Nusmv.sanitize "self");
+  Alcotest.(check string) "digit-leading" "_7seg" (Nusmv.sanitize "7seg");
+  Alcotest.(check string) "empty" "_" (Nusmv.sanitize "");
+  (* A dotted name whose pieces collide only as a whole is untouched. *)
+  Alcotest.(check string) "dotted keyword pieces" "a__init" (Nusmv.sanitize "a.init");
+  (* Case-sensitivity: NuSMV keywords are matched exactly. *)
+  Alcotest.(check string) "Case differs from case" "Case" (Nusmv.sanitize "Case")
+
 let test_module_of_dfa_shape () =
   let dfa =
     Determinize.determinize (Thompson.of_regex (Regex.word (Trace.of_names [ "a.x"; "a.y" ])))
@@ -177,6 +192,86 @@ let test_nusmv_deterministic_output () =
   let smv2 = Nusmv.model_of_class bad_sector in
   Alcotest.(check string) "stable" smv1 smv2
 
+(* --- NuSMV goldens: the full emitted text is the driver's input contract -- *)
+
+let test_module_of_dfa_golden () =
+  (* a.x then a.y, nothing else: 4 states after completion (incl. sink). *)
+  let dfa =
+    Determinize.determinize
+      (Thompson.of_regex (Regex.word (Trace.of_names [ "a.x"; "a.y" ])))
+  in
+  let expected =
+    "-- NuSMV model of two_step (generated by shelley-ocaml)\n\
+     -- Finite traces are embedded as infinite ones: the first e_end marks the\n\
+     -- end of the word and the event input is frozen afterwards.\n\
+     MODULE main\n\
+     VAR\n\
+    \  event : {e_a__x, e_a__y, e_end};\n\
+    \  state : {s0, s1, s2, s3};\n\
+     ASSIGN\n\
+    \  init(state) := s0;\n\
+    \  next(state) := case\n\
+    \    event = e_end : state;\n\
+    \    state = s0 & event = e_a__x : s1;\n\
+    \    state = s0 & event = e_a__y : s2;\n\
+    \    state = s1 & event = e_a__x : s2;\n\
+    \    state = s1 & event = e_a__y : s3;\n\
+    \    state = s2 & event = e_a__x : s2;\n\
+    \    state = s2 & event = e_a__y : s2;\n\
+    \    state = s3 & event = e_a__x : s2;\n\
+    \    state = s3 & event = e_a__y : s2;\n\
+    \    TRUE : state;\n\
+    \  esac;\n\
+     TRANS event = e_end -> next(event) = e_end\n\
+     DEFINE\n\
+    \  alive := event != e_end;\n\
+    \  accept := state = s3;\n\
+     \n\
+     -- The run so far is an accepted word exactly when the word has ended\n\
+     -- and the automaton sits in an accepting state:\n\
+     LTLSPEC G (event = e_end -> accept)\n"
+  in
+  Alcotest.(check string) "full module text"
+    expected
+    (Nusmv.module_of_dfa ~name:"two_step" dfa)
+
+let test_module_of_dfa_no_universality_spec () =
+  let dfa =
+    Determinize.determinize
+      (Thompson.of_regex (Regex.word (Trace.of_names [ "a.x"; "a.y" ])))
+  in
+  let smv = Nusmv.module_of_dfa ~universality_spec:false ~name:"two_step" dfa in
+  Alcotest.(check bool) "no descriptive spec" false (contains smv "LTLSPEC");
+  Alcotest.(check bool) "still defines accept" true (contains smv "accept :=")
+
+let test_ltlspec_goldens () =
+  let golden claim expected =
+    Alcotest.(check string) claim expected (Nusmv.ltlspec_of_claim (Ltl_parser.parse claim))
+  in
+  golden "G a" "LTLSPEC (G (alive -> event = e_a))";
+  golden "F a" "LTLSPEC (F (alive & event = e_a))";
+  golden "a U b"
+    "LTLSPEC ((alive & event = e_a) U (alive & event = e_b))";
+  golden "(!a.open) W b.open"
+    "LTLSPEC (((alive & !(event = e_a__open)) U (alive & event = e_b__open)) | (G \
+     (alive -> !(event = e_a__open))))"
+
+let test_ltlspec_checked_golden () =
+  Alcotest.(check string) "guarded embedding"
+    "LTLSPEC ((F event = e_end) & (G (event = e_end -> accept))) -> (G (alive -> \
+     event = e_a))"
+    (Nusmv.ltlspec_of_claim_checked (Ltl_parser.parse "G a"))
+
+let test_model_of_class_claims_guarded () =
+  let smv = Nusmv.model_of_class bad_sector in
+  (* Claims are checked over valid usage words only, and the universality
+     spec is absent, so an external NuSMV verdict means what the native
+     checker means. *)
+  Alcotest.(check bool) "guard present" true
+    (contains smv "((F event = e_end) & (G (event = e_end -> accept))) ->");
+  Alcotest.(check bool) "universality spec absent" false
+    (contains smv "LTLSPEC G (event = e_end -> accept)")
+
 let () =
   Alcotest.run "backends"
     [
@@ -191,10 +286,18 @@ let () =
       ( "nusmv",
         [
           Alcotest.test_case "sanitize" `Quick test_sanitize;
+          Alcotest.test_case "sanitize hardened" `Quick test_sanitize_hardened;
           Alcotest.test_case "module shape" `Quick test_module_of_dfa_shape;
           Alcotest.test_case "class with claims" `Quick test_module_of_class_includes_claims;
           Alcotest.test_case "ltlspec embedding" `Quick test_ltlspec_embedding;
           Alcotest.test_case "strong vs weak next" `Quick test_ltlspec_next_strong_weak;
           Alcotest.test_case "deterministic output" `Quick test_nusmv_deterministic_output;
+          Alcotest.test_case "module golden" `Quick test_module_of_dfa_golden;
+          Alcotest.test_case "module without universality spec" `Quick
+            test_module_of_dfa_no_universality_spec;
+          Alcotest.test_case "ltlspec goldens" `Quick test_ltlspec_goldens;
+          Alcotest.test_case "checked ltlspec golden" `Quick test_ltlspec_checked_golden;
+          Alcotest.test_case "class claims guarded" `Quick
+            test_model_of_class_claims_guarded;
         ] );
     ]

@@ -1,0 +1,340 @@
+(* The fault-isolation layer: Runner (fork pool, deadlines, retry),
+   Checker (parallel `shelley check` determinism), and the hardened
+   Nusmv_driver classification. *)
+
+let valve_source =
+  {|
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def test(self):
+        if self.status.value():
+            return ["open"]
+        else:
+            return ["clean"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+    @op_final
+    def clean(self):
+        self.clean.on()
+        return ["test"]
+|}
+
+let bad_sector_source =
+  valve_source
+  ^ {|
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class BadSector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def open_a(self):
+        match self.a.test():
+            case ["open"]:
+                self.a.open()
+                return []
+            case ["clean"]:
+                self.a.clean()
+                return []
+|}
+
+let broken_source = "class Broken:\n    def m(self:\n        return []\n"
+
+(* A throwaway directory of corpus files; returns their paths. *)
+let corpus_dir =
+  lazy
+    (let dir = Filename.temp_file "shelley_exec" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     let write name contents =
+       let path = Filename.concat dir name in
+       let oc = open_out_bin path in
+       output_string oc contents;
+       close_out oc;
+       path
+     in
+     [
+       write "ok.py" valve_source;
+       write "bad.py" bad_sector_source;
+       write "broken.py" broken_source;
+     ])
+
+(* --- Runner ---------------------------------------------------------------- *)
+
+let test_runner_inline_matches_forked () =
+  let tasks = [ 1; 2; 3; 4; 5; 6; 7 ] in
+  let f n = n * n in
+  let unwrap = function
+    | Runner.Done r -> r
+    | Runner.Timed_out _ | Runner.Crashed _ -> Alcotest.fail "task failed"
+  in
+  let inline = List.map unwrap (Runner.map ~jobs:1 ~f tasks) in
+  let forked = List.map unwrap (Runner.map ~jobs:4 ~deadline:30.0 ~f tasks) in
+  Alcotest.(check (list int)) "forked order = input order" inline forked;
+  Alcotest.(check (list int)) "values" [ 1; 4; 9; 16; 25; 36; 49 ] inline
+
+let test_runner_timeout () =
+  match Runner.map ~jobs:2 ~deadline:0.3 ~f:(fun _ -> Unix.sleep 30) [ () ] with
+  | [ Runner.Timed_out { seconds; attempts } ] ->
+    Alcotest.(check (float 0.001)) "configured deadline" 0.3 seconds;
+    Alcotest.(check int) "single attempt without retry" 1 attempts
+  | _ -> Alcotest.fail "expected Timed_out"
+
+let test_runner_timeout_retry_attempts () =
+  match
+    Runner.map ~jobs:2 ~deadline:0.2
+      ~retry:(fun _ -> Unix.sleep 30)
+      ~f:(fun _ -> Unix.sleep 30)
+      [ () ]
+  with
+  | [ Runner.Timed_out { attempts; _ } ] ->
+    Alcotest.(check int) "both attempts burned" 2 attempts
+  | _ -> Alcotest.fail "expected Timed_out"
+
+let suicide _ = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let test_runner_crash () =
+  match Runner.map ~jobs:2 ~deadline:10.0 ~f:suicide [ () ] with
+  | [ Runner.Crashed { reason; attempts } ] ->
+    Alcotest.(check string) "signal named" "killed by SIGKILL" reason;
+    Alcotest.(check int) "single attempt" 1 attempts
+  | _ -> Alcotest.fail "expected Crashed"
+
+let test_runner_retry_recovers () =
+  match
+    Runner.map ~jobs:2 ~deadline:10.0
+      ~retry:(fun n -> n + 1)
+      ~f:(fun n -> suicide n; n)
+      [ 41 ]
+  with
+  | [ Runner.Done 42 ] -> ()
+  | _ -> Alcotest.fail "expected the retry's Done 42"
+
+let test_runner_exception_contained () =
+  match Runner.map ~jobs:2 ~deadline:10.0 ~f:(fun _ -> failwith "boom") [ () ] with
+  | [ Runner.Crashed { reason; _ } ] ->
+    Alcotest.(check bool) "exception text preserved" true
+      (Testutil.contains reason "boom")
+  | _ -> Alcotest.fail "expected Crashed"
+
+let test_runner_isolation () =
+  (* One hang and one crash in the middle of the batch: every other task
+     still completes, and outcomes stay in input order. *)
+  let f = function
+    | 2 -> Unix.sleep 30; 0
+    | 3 -> suicide 3; 0
+    | n -> n * 10
+  in
+  match Runner.map ~jobs:4 ~deadline:0.5 ~f [ 1; 2; 3; 4 ] with
+  | [ Runner.Done 10; Runner.Timed_out _; Runner.Crashed _; Runner.Done 40 ] -> ()
+  | outcomes ->
+    Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)
+
+let test_signal_name () =
+  Alcotest.(check string) "kill" "SIGKILL" (Runner.signal_name Sys.sigkill);
+  Alcotest.(check string) "segv" "SIGSEGV" (Runner.signal_name Sys.sigsegv);
+  Alcotest.(check string) "unknown" "signal 12345" (Runner.signal_name 12345)
+
+(* --- Checker determinism --------------------------------------------------- *)
+
+let shuffle seed l =
+  let st = Random.State.make [| seed |] in
+  let tagged = List.map (fun x -> (Random.State.bits st, x)) l in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare a b) tagged)
+
+(* The contract behind `shelley check -j N`: per-file blocks and codes
+   depend only on the file, and aggregation follows input order — so any
+   jobs count and any input order produce the same per-path verdicts. *)
+let test_checker_determinism =
+  QCheck2.Test.make ~count:12 ~name:"check -j N / shuffled inputs deterministic"
+    QCheck2.Gen.(pair (int_range 1 4) int)
+    (fun (jobs, seed) ->
+      let paths = Lazy.force corpus_dir in
+      let baseline = Checker.check_files ~jobs:1 paths in
+      let shuffled = shuffle seed paths in
+      let got = Checker.check_files ~jobs shuffled in
+      (* Outcomes arrive in input order... *)
+      List.iter2
+        (fun path (v : Checker.verdict) -> assert (String.equal path v.Checker.path))
+        shuffled got;
+      (* ...and each file's block and code are independent of order/jobs. *)
+      List.for_all
+        (fun (v : Checker.verdict) ->
+          let b =
+            List.find
+              (fun (b : Checker.verdict) -> String.equal b.Checker.path v.Checker.path)
+              baseline
+          in
+          String.equal b.Checker.output v.Checker.output && b.Checker.code = v.Checker.code)
+        got)
+
+let test_checker_codes () =
+  let paths = Lazy.force corpus_dir in
+  let verdicts = Checker.check_files ~jobs:2 paths in
+  let code name =
+    (List.find
+       (fun (v : Checker.verdict) -> Filename.basename v.Checker.path = name)
+       verdicts)
+      .Checker.code
+  in
+  Alcotest.(check int) "ok.py verifies" 0 (code "ok.py");
+  Alcotest.(check int) "bad.py fails verification" 1 (code "bad.py");
+  Alcotest.(check int) "broken.py is a syntax error" 2 (code "broken.py");
+  Alcotest.(check int) "aggregate = max" 2 (Checker.exit_code verdicts)
+
+let test_checker_unreadable () =
+  let v = Checker.check_file "definitely/not/a/file.py" in
+  Alcotest.(check int) "code 2" 2 v.Checker.code;
+  Alcotest.(check bool) "rendered" true
+    (Testutil.contains v.Checker.output "cannot read file")
+
+let test_checker_deadline_report () =
+  (* The fault hook only fires on matching paths, so scope the env var. *)
+  Unix.putenv "SHELLEY_FAULT" "hang:ok.py";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SHELLEY_FAULT" "")
+    (fun () ->
+      let limits = Limits.make ~deadline:0.3 () in
+      let verdicts = Checker.check_files ~jobs:2 ~limits (Lazy.force corpus_dir) in
+      let hung =
+        List.find
+          (fun (v : Checker.verdict) -> Filename.basename v.Checker.path = "ok.py")
+          verdicts
+      in
+      Alcotest.(check int) "deadline maps to 3" 3 hung.Checker.code;
+      Alcotest.(check bool) "structured block" true
+        (Testutil.contains hung.Checker.output "WALL-CLOCK DEADLINE EXCEEDED");
+      (* The other files were unaffected. *)
+      Alcotest.(check int) "bad.py still checked" 1
+        (List.find
+           (fun (v : Checker.verdict) -> Filename.basename v.Checker.path = "bad.py")
+           verdicts)
+          .Checker.code)
+
+(* --- Nusmv_driver classification ------------------------------------------- *)
+
+let verdict_label = function
+  | Nusmv_driver.Verified _ -> "verified"
+  | Nusmv_driver.Counterexample _ -> "counterexample"
+  | Nusmv_driver.Rejected_input _ -> "rejected"
+  | Nusmv_driver.Tool_missing _ -> "missing"
+  | Nusmv_driver.Tool_timeout _ -> "timeout"
+  | Nusmv_driver.Tool_failed _ -> "failed"
+
+let classify ?(status = Unix.WEXITED 0) ?(stdout = "") ?(stderr = "") () =
+  verdict_label (Nusmv_driver.classify_output ~status ~stdout ~stderr)
+
+let test_driver_classification () =
+  Alcotest.(check string) "all true" "verified"
+    (classify
+       ~stdout:
+         "-- specification ((F event = e_end) & x) -> y  is true\n\
+          -- specification G z  is true\n"
+       ());
+  Alcotest.(check string) "one false" "counterexample"
+    (classify
+       ~stdout:
+         "-- specification a is true\n\
+          -- specification b is false\n\
+          Trace Description: LTL Counterexample\n"
+       ());
+  Alcotest.(check string) "parser trouble" "rejected"
+    (classify ~status:(Unix.WEXITED 1) ~stderr:"file.smv: syntax error at line 3" ());
+  Alcotest.(check string) "plain failure" "failed"
+    (classify ~status:(Unix.WEXITED 2) ~stderr:"out of memory" ());
+  Alcotest.(check string) "signal" "failed"
+    (classify ~status:(Unix.WSIGNALED Sys.sigsegv) ());
+  match Nusmv_driver.classify_output ~status:(Unix.WEXITED 0)
+          ~stdout:"-- specification p is true\n-- specification q is true\n" ~stderr:""
+  with
+  | Nusmv_driver.Verified { specs } -> Alcotest.(check int) "spec count" 2 specs
+  | _ -> Alcotest.fail "expected Verified"
+
+let test_driver_missing_binary () =
+  (match Nusmv_driver.find_binary ~binary:"shelley-no-such-checker" () with
+  | Error [ "shelley-no-such-checker" ] -> ()
+  | Error _ | Ok _ -> Alcotest.fail "expected Error with the searched name");
+  let r = Nusmv_driver.run_text ~binary:"shelley-no-such-checker" "MODULE main\n" in
+  (match r.Nusmv_driver.verdict with
+  | Nusmv_driver.Tool_missing { searched } ->
+    Alcotest.(check (list string)) "searched names" [ "shelley-no-such-checker" ] searched
+  | v -> Alcotest.failf "expected Tool_missing, got %s" (verdict_label v));
+  Alcotest.(check int) "classified nonzero exit" 3
+    (Nusmv_driver.exit_code r.Nusmv_driver.verdict)
+
+let test_driver_fake_binary () =
+  (* A stub NuSMV exercises the real spawn/drain/kill path hermetically. *)
+  let dir = Filename.temp_file "shelley_fakebin" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let script name body =
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    output_string oc ("#!/bin/sh\n" ^ body);
+    close_out oc;
+    Unix.chmod path 0o755;
+    path
+  in
+  let truthy = script "nusmv-true" "echo '-- specification p  is true'\nexit 0\n" in
+  let falsy = script "nusmv-false" "echo '-- specification p  is false'\nexit 0\n" in
+  let sleepy = script "nusmv-sleep" "sleep 30\n" in
+  (match (Nusmv_driver.run_text ~binary:truthy "MODULE main\n").Nusmv_driver.verdict with
+  | Nusmv_driver.Verified { specs = 1 } -> ()
+  | v -> Alcotest.failf "expected Verified, got %s" (verdict_label v));
+  (match (Nusmv_driver.run_text ~binary:falsy "MODULE main\n").Nusmv_driver.verdict with
+  | Nusmv_driver.Counterexample { failed = [ line ] } ->
+    Alcotest.(check bool) "spec line kept" true (Testutil.contains line "is false")
+  | v -> Alcotest.failf "expected Counterexample, got %s" (verdict_label v));
+  match
+    (Nusmv_driver.run_text ~binary:sleepy ~timeout:0.3 "MODULE main\n").Nusmv_driver.verdict
+  with
+  | Nusmv_driver.Tool_timeout { seconds } ->
+    Alcotest.(check (float 0.001)) "deadline recorded" 0.3 seconds
+  | v -> Alcotest.failf "expected Tool_timeout, got %s" (verdict_label v)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "inline = forked, input order" `Quick
+            test_runner_inline_matches_forked;
+          Alcotest.test_case "deadline kills a hung worker" `Quick test_runner_timeout;
+          Alcotest.test_case "retry attempts counted" `Quick
+            test_runner_timeout_retry_attempts;
+          Alcotest.test_case "crash classified" `Quick test_runner_crash;
+          Alcotest.test_case "retry recovers" `Quick test_runner_retry_recovers;
+          Alcotest.test_case "exception contained" `Quick test_runner_exception_contained;
+          Alcotest.test_case "faults isolated per task" `Quick test_runner_isolation;
+          Alcotest.test_case "signal names" `Quick test_signal_name;
+        ] );
+      ( "checker",
+        [
+          QCheck_alcotest.to_alcotest test_checker_determinism;
+          Alcotest.test_case "per-file exit codes" `Quick test_checker_codes;
+          Alcotest.test_case "unreadable path" `Quick test_checker_unreadable;
+          Alcotest.test_case "deadline yields structured report" `Quick
+            test_checker_deadline_report;
+        ] );
+      ( "nusmv-driver",
+        [
+          Alcotest.test_case "output classification" `Quick test_driver_classification;
+          Alcotest.test_case "missing binary" `Quick test_driver_missing_binary;
+          Alcotest.test_case "stub binary end-to-end" `Quick test_driver_fake_binary;
+        ] );
+    ]
