@@ -116,7 +116,20 @@ let check_cmd =
                 finally reported as WALL-CLOCK DEADLINE EXCEEDED (exit 3) \
                 while every other file still completes.")
   in
-  let run files warnings explain using max_states fuel jobs timeout =
+  let fault_injection =
+    (* Test seam, deliberately opt-in: without this flag the checker ignores
+       the SHELLEY_FAULT variable entirely, so an inherited/stale variable
+       cannot sabotage a real run. *)
+    Arg.(
+      value & flag
+      & info [ "fault-injection" ]
+          ~doc:
+            "Testing only: arm the SHELLEY_FAULT fault-injection hook \
+             (hang/crash workers by path substring) used by the \
+             fault-isolation test suite.")
+  in
+  let run files warnings explain using max_states fuel jobs timeout fault_injection =
+    Checker.fault_injection := fault_injection;
     let extra_env =
       match Model_io.env_of_files using with
       | Ok env -> env
@@ -156,7 +169,8 @@ let check_cmd =
                 per-file wall-clock deadline, or a worker crash.";
          ])
     Term.(
-      const run $ files $ warnings $ explain $ using $ max_states $ fuel $ jobs $ timeout)
+      const run $ files $ warnings $ explain $ using $ max_states $ fuel $ jobs $ timeout
+      $ fault_injection)
 
 (* --- model ----------------------------------------------------------------- *)
 

@@ -6,11 +6,19 @@ type verdict = {
 
 (* Deliberate misbehavior for the fault-injection tests: a worker that hangs
    (until the deadline kills it) or dies by SIGKILL (as the OOM killer
-   would), triggered by substring match on the checked path. *)
+   would), triggered by substring match on the checked path. Armed only by
+   an explicit in-process opt-in ([fault_injection], set by the hidden
+   --fault-injection flag or directly by tests): a stale SHELLEY_FAULT
+   variable inherited from some test environment must never be able to
+   sabotage a real verification run on its own. *)
+let fault_injection = ref false
+
 let fault_hook path =
-  match Sys.getenv_opt "SHELLEY_FAULT" with
-  | None | Some "" -> ()
-  | Some spec ->
+  if not !fault_injection then ()
+  else
+    match Sys.getenv_opt "SHELLEY_FAULT" with
+    | None | Some "" -> ()
+    | Some spec ->
     String.split_on_char ',' spec
     |> List.iter (fun entry ->
            match String.index_opt entry ':' with

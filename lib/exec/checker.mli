@@ -54,10 +54,18 @@ val exit_code : verdict list -> int
     3 = a resource budget was exceeded — deterministic fuel, the wall-clock
     deadline, or a crashed worker. *)
 
+val fault_injection : bool ref
+(** Arms {!fault_hook}. Defaults to [false], in which case the hook is
+    inert no matter what the environment says — a stale [SHELLEY_FAULT]
+    variable in a user's shell must not be able to sabotage real runs.
+    Set by the hidden [shelley check --fault-injection] flag and by the
+    fault-isolation tests. *)
+
 val fault_hook : string -> unit
-(** Test seam for the fault-isolation contract. When the [SHELLEY_FAULT]
-    environment variable is set to [KIND:SUBSTR] (comma-separated entries
-    allowed), a checked path containing [SUBSTR] misbehaves before parsing:
-    [hang] spins forever (exercises the deadline killer), [crash] raises
-    SIGKILL against its own process (exercises crash isolation). Unset in
-    normal operation; ignored entries are harmless. *)
+(** Test seam for the fault-isolation contract. Only when {!fault_injection}
+    is [true] {e and} the [SHELLEY_FAULT] environment variable is set to
+    [KIND:SUBSTR] (comma-separated entries allowed), a checked path
+    containing [SUBSTR] misbehaves before parsing: [hang] spins forever
+    (exercises the deadline killer), [crash] raises SIGKILL against its own
+    process (exercises crash isolation). Inert in normal operation; ignored
+    entries are harmless. *)

@@ -115,11 +115,16 @@ let map ?(jobs = 1) ?deadline ?retry ~f tasks =
     let pending = Queue.create () in
     Array.iteri (fun i _ -> Queue.add (i, 1) pending) tasks;
     let workers = ref [] in
-    (* A failed first attempt goes back on the queue when a retry function is
-       available; otherwise (or on a failed second attempt) it is final. *)
+    (* A *failed* first attempt goes back on the queue when a retry function
+       is available; a success is final immediately — re-running it would
+       waste a worker and let the retry's (reduced-budget) result overwrite
+       the good one. A failed second attempt is final too. *)
     let settle idx attempt outcome =
-      if attempt = 1 && retry <> None then Queue.add (idx, 2) pending
-      else results.(idx) <- Some outcome
+      match outcome with
+      | Done _ -> results.(idx) <- Some outcome
+      | Timed_out _ | Crashed _ ->
+        if attempt = 1 && retry <> None then Queue.add (idx, 2) pending
+        else results.(idx) <- Some outcome
     in
     let spawn idx attempt =
       (* Flush before forking: anything buffered would otherwise be written

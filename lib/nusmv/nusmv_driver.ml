@@ -69,10 +69,22 @@ let classify_output ~status ~stdout ~stderr =
         contains_sub ~sub:"-- specification" l && contains_sub ~sub:("is " ^ verdict_word) l)
       (lines stdout)
   in
+  (* Needles are anchored to NuSMV's own diagnostic phrasing ("undefined
+     identifier", "is undefined") rather than the bare word "undefined",
+     which also shows up in unrelated failures (a dynamic linker's
+     "undefined symbol", a trace that mentions the word) that must stay
+     classified as Tool_failed. *)
   let parse_trouble =
     List.exists
       (fun needle -> contains_sub ~sub:needle stderr || contains_sub ~sub:needle stdout)
-      [ "syntax error"; "Parser error"; "parse error"; "TYPE ERROR"; "undefined" ]
+      [
+        "syntax error";
+        "Parser error";
+        "parse error";
+        "TYPE ERROR";
+        "undefined identifier";
+        "is undefined";
+      ]
   in
   match status with
   | Unix.WEXITED 0 -> (
@@ -153,12 +165,17 @@ let run_file ?binary ?(timeout = 30.0) path =
     let spawn () =
       match Unix.fork () with
       | 0 ->
-        (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
-        Unix.dup2 devnull Unix.stdin;
-        Unix.dup2 out_wr Unix.stdout;
-        Unix.dup2 err_wr Unix.stderr;
-        let (_ : unit) = try Unix.execvp exe [| exe; path |] with _ -> Unix._exit 127 in
-        assert false
+        (* The whole child branch must end in _exit: an exception escaping
+           here (a failed dup2, say) would fall into the parent's handler
+           below and run the rest of the CLI a second time. *)
+        (try
+           (try ignore (Unix.setsid ()) with Unix.Unix_error _ -> ());
+           Unix.dup2 devnull Unix.stdin;
+           Unix.dup2 out_wr Unix.stdout;
+           Unix.dup2 err_wr Unix.stderr;
+           ignore (Unix.execvp exe [| exe; path |])
+         with _ -> ());
+        Unix._exit 127
       | pid -> pid
     in
     match spawn () with

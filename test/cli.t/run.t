@@ -203,12 +203,13 @@ blocks in input order, so the output is byte-identical to a sequential run
   identical
 
 Wall-clock deadlines: a unit that hangs (induced via the SHELLEY_FAULT test
-hook) is killed at the deadline, retried once under a reduced fuel budget,
-and reported as a structured diagnostic. Every other file still completes,
-and the run exits 3 — the resource-limit code covers wall-clock timeouts
-too, since both mean "a budget ran out before a verdict":
+hook, which is inert unless armed with --fault-injection) is killed at the
+deadline, retried once under a reduced fuel budget, and reported as a
+structured diagnostic. Every other file still completes, and the run exits
+3 — the resource-limit code covers wall-clock timeouts too, since both mean
+"a budget ran out before a verdict":
 
-  $ SHELLEY_FAULT=hang:valve shelley check -j 2 --timeout 1 valve.py bad_sector.py
+  $ SHELLEY_FAULT=hang:valve shelley check --fault-injection -j 2 --timeout 1 valve.py bad_sector.py
   == valve.py ==
   Error in verification: WALL-CLOCK DEADLINE EXCEEDED
   Unit: valve.py
@@ -229,13 +230,21 @@ too, since both mean "a budget ran out before a verdict":
 A worker killed outright (here by SIGKILL, as the kernel's OOM killer would)
 is isolated and classified the same way, with the healthy file unaffected:
 
-  $ SHELLEY_FAULT=crash:bad_sector shelley check -j 2 --timeout 5 valve.py bad_sector.py
+  $ SHELLEY_FAULT=crash:bad_sector shelley check --fault-injection -j 2 --timeout 5 valve.py bad_sector.py
   == bad_sector.py ==
   Error in verification: WORKER CRASHED
   Unit: bad_sector.py
   Failure: killed by SIGKILL (2 attempts; other units unaffected)
   
   [3]
+
+Without the explicit --fault-injection opt-in the hook is inert: a stale
+SHELLEY_FAULT variable inherited from some environment cannot sabotage a
+real verification run:
+
+  $ SHELLEY_FAULT=hang:valve shelley check -j 2 --timeout 5 valve.py; echo "exit $?"
+  OK: specification verified
+  exit 0
 
 The smv subcommand emits the NuSMV translation (like nusmv) and with --run
 executes the external checker. When the binary is absent the driver degrades

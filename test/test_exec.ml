@@ -125,6 +125,32 @@ let test_runner_retry_recovers () =
   | [ Runner.Done 42 ] -> ()
   | _ -> Alcotest.fail "expected the retry's Done 42"
 
+let test_runner_success_not_retried () =
+  (* Regression: with a retry function present, a successful first attempt
+     must be stored as-is, not re-queued — the retry here returns a sentinel
+     that would overwrite the real result if it ever ran. *)
+  match
+    Runner.map ~jobs:2 ~retry:(fun _ -> -1) ~f:(fun n -> n * n) [ 2; 3; 4 ]
+  with
+  | [ Runner.Done 4; Runner.Done 9; Runner.Done 16 ] -> ()
+  | outcomes ->
+    let show = function
+      | Runner.Done r -> string_of_int r
+      | Runner.Timed_out _ -> "timeout"
+      | Runner.Crashed { reason; _ } -> "crashed: " ^ reason
+    in
+    Alcotest.failf "first attempts were not kept: [%s]"
+      (String.concat "; " (List.map show outcomes))
+
+let test_runner_success_not_retried_with_deadline () =
+  (* Same contract on the deadline path Checker.check_files actually uses
+     (jobs + deadline + retry all present at once). *)
+  match
+    Runner.map ~jobs:2 ~deadline:10.0 ~retry:(fun _ -> -1) ~f:(fun n -> n + 1) [ 1 ]
+  with
+  | [ Runner.Done 2 ] -> ()
+  | _ -> Alcotest.fail "successful first attempt was retried"
+
 let test_runner_exception_contained () =
   match Runner.map ~jobs:2 ~deadline:10.0 ~f:(fun _ -> failwith "boom") [ () ] with
   | [ Runner.Crashed { reason; _ } ] ->
@@ -204,10 +230,15 @@ let test_checker_unreadable () =
     (Testutil.contains v.Checker.output "cannot read file")
 
 let test_checker_deadline_report () =
-  (* The fault hook only fires on matching paths, so scope the env var. *)
+  (* The fault hook needs both the explicit arm switch and the env var (it
+     only fires on matching paths, so scope both). The armed flag is
+     inherited by the forked workers. *)
+  Checker.fault_injection := true;
   Unix.putenv "SHELLEY_FAULT" "hang:ok.py";
   Fun.protect
-    ~finally:(fun () -> Unix.putenv "SHELLEY_FAULT" "")
+    ~finally:(fun () ->
+      Checker.fault_injection := false;
+      Unix.putenv "SHELLEY_FAULT" "")
     (fun () ->
       let limits = Limits.make ~deadline:0.3 () in
       let verdicts = Checker.check_files ~jobs:2 ~limits (Lazy.force corpus_dir) in
@@ -225,6 +256,23 @@ let test_checker_deadline_report () =
            (fun (v : Checker.verdict) -> Filename.basename v.Checker.path = "bad.py")
            verdicts)
           .Checker.code)
+
+let test_checker_fault_hook_inert_unless_armed () =
+  (* A stale SHELLEY_FAULT in the environment must be ignored when the
+     in-process arm switch is off: ok.py verifies normally instead of
+     hanging into its deadline. *)
+  Unix.putenv "SHELLEY_FAULT" "hang:ok.py";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "SHELLEY_FAULT" "")
+    (fun () ->
+      let limits = Limits.make ~deadline:10.0 () in
+      let verdicts = Checker.check_files ~jobs:2 ~limits (Lazy.force corpus_dir) in
+      let ok =
+        List.find
+          (fun (v : Checker.verdict) -> Filename.basename v.Checker.path = "ok.py")
+          verdicts
+      in
+      Alcotest.(check int) "ok.py verified, not hung" 0 ok.Checker.code)
 
 (* --- Nusmv_driver classification ------------------------------------------- *)
 
@@ -257,6 +305,14 @@ let test_driver_classification () =
     (classify ~status:(Unix.WEXITED 1) ~stderr:"file.smv: syntax error at line 3" ());
   Alcotest.(check string) "plain failure" "failed"
     (classify ~status:(Unix.WEXITED 2) ~stderr:"out of memory" ());
+  Alcotest.(check string) "NuSMV undefined identifier" "rejected"
+    (classify ~status:(Unix.WEXITED 1)
+       ~stderr:"file.smv:7:12: undefined identifier \"e_open\"" ());
+  (* Not every "undefined" is NuSMV's: a dynamic-linker failure mentioning
+     "undefined symbol" is a tool failure, not a rejected model. *)
+  Alcotest.(check string) "linker undefined symbol" "failed"
+    (classify ~status:(Unix.WEXITED 1)
+       ~stderr:"NuSMV: symbol lookup error: libfoo.so: undefined symbol: f" ());
   Alcotest.(check string) "signal" "failed"
     (classify ~status:(Unix.WSIGNALED Sys.sigsegv) ());
   match Nusmv_driver.classify_output ~status:(Unix.WEXITED 0)
@@ -319,6 +375,9 @@ let () =
             test_runner_timeout_retry_attempts;
           Alcotest.test_case "crash classified" `Quick test_runner_crash;
           Alcotest.test_case "retry recovers" `Quick test_runner_retry_recovers;
+          Alcotest.test_case "success not retried" `Quick test_runner_success_not_retried;
+          Alcotest.test_case "success not retried (deadline path)" `Quick
+            test_runner_success_not_retried_with_deadline;
           Alcotest.test_case "exception contained" `Quick test_runner_exception_contained;
           Alcotest.test_case "faults isolated per task" `Quick test_runner_isolation;
           Alcotest.test_case "signal names" `Quick test_signal_name;
@@ -330,6 +389,8 @@ let () =
           Alcotest.test_case "unreadable path" `Quick test_checker_unreadable;
           Alcotest.test_case "deadline yields structured report" `Quick
             test_checker_deadline_report;
+          Alcotest.test_case "fault hook inert unless armed" `Quick
+            test_checker_fault_hook_inert_unless_armed;
         ] );
       ( "nusmv-driver",
         [
