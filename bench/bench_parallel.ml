@@ -1,16 +1,34 @@
 (* Parallel-checking benchmark: wall-clock for [shelley check -j N] levels
    over a synthetic corpus, via the same {!Checker.check_files} entry the
    CLI uses. Emits machine-readable results to BENCH_parallel.json and a
-   human summary to stdout, and asserts the determinism contract along the
-   way: the concatenated output of every jobs level must be byte-identical
-   to the sequential run.
+   human summary to stdout, and asserts two contracts along the way:
 
-   Run: dune exec bench/bench_parallel.exe [CORPUS_SIZE] *)
+   - determinism: the concatenated output of every jobs level (with and
+     without the observability recorder enabled) must be byte-identical
+     to the sequential run;
+   - zero disabled overhead: a disabled [Obs.count] must cost on the
+     order of a branch — the run aborts if it exceeds a generous
+     per-call budget.
+
+   Besides wall times, each level gets one *instrumented* run whose pool
+   counters (fork time, queue wait, task wall time) and per-unit totals
+   go into the JSON — the data behind EXPERIMENTS.md's explanation of
+   why -j > 1 can lose on a small machine.
+
+   Run: dune exec bench/bench_parallel.exe [--smoke] [CORPUS_SIZE] *)
+
+let smoke = Array.exists (String.equal "--smoke") Sys.argv
 
 let corpus_size =
-  if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 24
+  let positional =
+    Array.to_list Sys.argv |> List.tl
+    |> List.find_opt (fun a -> a <> "--smoke")
+  in
+  match positional with
+  | Some n -> int_of_string n
+  | None -> if smoke then 6 else 24
 
-let repeats = 3
+let repeats = if smoke then 1 else 3
 
 (* One corpus file = the paper's two listings together: a composite class
    with a claim, so each unit exercises parsing, inference, the product
@@ -41,7 +59,66 @@ let time_run ~jobs files =
   let dt = Unix.gettimeofday () -. t0 in
   (dt, concat_output verdicts, Checker.exit_code verdicts)
 
+(* The no-op guard for the zero-overhead claim: with the recorder disabled,
+   [Obs.count] is one branch on a ref. 200 ns/call is ~two orders of
+   magnitude above what that costs on any machine this runs on, so a failure
+   means someone made the disabled path allocate or take a lock. *)
+let disabled_overhead_ns_per_call () =
+  assert (not (Obs.enabled ()));
+  let calls = 10_000_000 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calls do
+    Obs.count "bench.noop" 1
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  dt *. 1e9 /. float_of_int calls
+
+let obs_budget_ns = 200.0
+
+(* One instrumented run per jobs level: same entry point, recorder on,
+   pool/unit numbers harvested from the recorder afterwards. *)
+type instrumented = {
+  i_fork_us : int;
+  i_queue_wait_us : int;
+  i_task_wall_us : int;
+  i_spawns : int;
+  i_unit_total_us : int;  (* summed in-worker span time across units *)
+}
+
+let instrumented_run ~jobs files baseline_output =
+  Obs.enable ~fake_clock:false ();
+  let verdicts = Checker.check_files ~jobs files in
+  if concat_output verdicts <> baseline_output then begin
+    Printf.eprintf "DETERMINISM VIOLATION with observability enabled at -j %d\n" jobs;
+    exit 1
+  end;
+  let counter key = Option.value ~default:0 (List.assoc_opt key (Obs.counters ())) in
+  let unit_total =
+    List.fold_left (fun acc (_, p) -> acc + Obs.profile_total_us p) 0 (Obs.units ())
+  in
+  let r =
+    {
+      i_fork_us = counter "runner.fork_us";
+      i_queue_wait_us = counter "runner.queue_wait_us";
+      i_task_wall_us = counter "runner.task_wall_us";
+      i_spawns = counter "runner.spawns";
+      i_unit_total_us = unit_total;
+    }
+  in
+  Obs.disable ();
+  r
+
 let () =
+  let overhead_ns = disabled_overhead_ns_per_call () in
+  if overhead_ns > obs_budget_ns then begin
+    Printf.eprintf
+      "FAIL: disabled Obs.count costs %.1f ns/call (budget %.0f ns) — the \
+       disabled path must stay one branch\n"
+      overhead_ns obs_budget_ns;
+    exit 1
+  end;
+  Printf.printf "disabled-obs overhead: %.1f ns per Obs.count call (budget %.0f)\n"
+    overhead_ns obs_budget_ns;
   let dir = Filename.temp_file "shelley_bench" "" in
   Sys.remove dir;
   Unix.mkdir dir 0o755;
@@ -50,8 +127,9 @@ let () =
   let levels =
     List.sort_uniq compare [ 1; 2; 4; cores ] |> List.filter (fun j -> j >= 1)
   in
-  Printf.printf "parallel checking: %d files x %d repeats, %d core(s) online\n\n"
-    corpus_size repeats cores;
+  Printf.printf "parallel checking: %d files x %d repeats, %d core(s) online%s\n\n"
+    corpus_size repeats cores
+    (if smoke then " [smoke]" else "");
   let baseline_output = ref "" in
   let results =
     List.map
@@ -71,38 +149,54 @@ let () =
               end;
               dt)
         in
+        let instr = instrumented_run ~jobs files !baseline_output in
         let best = List.fold_left Float.min infinity runs in
         Printf.printf "  -j %-2d  best %7.1f ms  (all: %s)\n" jobs (best *. 1000.)
           (String.concat ", "
              (List.map (fun t -> Printf.sprintf "%.1f ms" (t *. 1000.)) runs));
-        (jobs, best, runs))
+        Printf.printf
+          "         pool: %d spawns, fork %d us, queue-wait %d us, task-wall %d us, \
+           in-worker spans %d us\n"
+          instr.i_spawns instr.i_fork_us instr.i_queue_wait_us instr.i_task_wall_us
+          instr.i_unit_total_us;
+        (jobs, best, runs, instr))
       levels
   in
   let seq_best =
     match results with
-    | (1, best, _) :: _ -> best
+    | (1, best, _, _) :: _ -> best
     | _ -> infinity
   in
   Printf.printf "\n";
   List.iter
-    (fun (jobs, best, _) ->
+    (fun (jobs, best, _, _) ->
       if jobs > 1 then
         Printf.printf "  speedup -j %d vs -j 1: %.2fx\n" jobs (seq_best /. best))
     results;
   let json =
-    let run_json (jobs, best, runs) =
+    let run_json (jobs, best, runs, instr) =
+      let per_file total =
+        if corpus_size = 0 then 0 else total / corpus_size
+      in
       Printf.sprintf
         "    {\"jobs\": %d, \"best_seconds\": %.6f, \"all_seconds\": [%s], \
-         \"speedup_vs_sequential\": %.3f}"
+         \"speedup_vs_sequential\": %.3f, \"spawns\": %d, \"fork_us_total\": %d, \
+         \"fork_us_per_file\": %d, \"queue_wait_us_total\": %d, \
+         \"queue_wait_us_per_file\": %d, \"task_wall_us_total\": %d, \
+         \"unit_total_us\": %d}"
         jobs best
         (String.concat ", " (List.map (Printf.sprintf "%.6f") runs))
-        (seq_best /. best)
+        (seq_best /. best) instr.i_spawns instr.i_fork_us (per_file instr.i_fork_us)
+        instr.i_queue_wait_us
+        (per_file instr.i_queue_wait_us)
+        instr.i_task_wall_us instr.i_unit_total_us
     in
     Printf.sprintf
       "{\n  \"benchmark\": \"parallel_checking\",\n  \"corpus_files\": %d,\n\
       \  \"repeats\": %d,\n  \"cores_online\": %d,\n\
+      \  \"disabled_obs_ns_per_call\": %.1f,\n\
       \  \"output_byte_identical_across_levels\": true,\n  \"results\": [\n%s\n  ]\n}\n"
-      corpus_size repeats cores
+      corpus_size repeats cores overhead_ns
       (String.concat ",\n" (List.map run_json results))
   in
   let oc = open_out_bin "BENCH_parallel.json" in

@@ -128,7 +128,36 @@ let check_cmd =
              (hang/crash workers by path substring) used by the \
              fault-isolation test suite.")
   in
-  let run files warnings explain using max_states fuel jobs timeout fault_injection =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print a per-phase timing and counter summary to standard error \
+             after the run. Report output on standard output is unchanged. \
+             Set SHELLEY_OBS_FAKE_CLOCK=1 to replace wall-clock readings \
+             with a deterministic logical clock (for tests).")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Write run metrics (per-unit totals, per-phase aggregates, all \
+             counters) as JSON (schema shelley.metrics/1) to $(docv).")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace_event file to $(docv): one timeline lane \
+             per worker process, loadable in chrome://tracing or Perfetto.")
+  in
+  let run files warnings explain using max_states fuel jobs timeout fault_injection stats
+      metrics_out trace_out =
     Checker.fault_injection := fault_injection;
     let extra_env =
       match Model_io.env_of_files using with
@@ -144,6 +173,11 @@ let check_cmd =
         ~max_configs:(Option.value fuel ~default:d.Limits.max_configs)
         ?deadline:timeout ()
     in
+    (* Observability is strictly additive: the recorder is enabled only when
+       a sink was requested, stats go to stderr and metrics/trace to files,
+       so the report stream on stdout stays byte-identical either way. *)
+    let observe = stats || metrics_out <> None || trace_out <> None in
+    if observe then Obs.enable ();
     (* One file never aborts the others: each gets its own exit code
        (0 verified, 1 verification failure, 2 unreadable/syntax error,
        3 resource limit / deadline / crashed worker) and the process exits
@@ -153,6 +187,17 @@ let check_cmd =
       Checker.check_files ~jobs ~limits ~warnings ~explain ~extra_env files
     in
     List.iter (fun (v : Checker.verdict) -> print_string v.Checker.output) verdicts;
+    if observe then begin
+      let write_file path contents =
+        let oc = open_out_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () -> output_string oc contents)
+      in
+      Option.iter (fun path -> write_file path (Obs.render_metrics_json ())) metrics_out;
+      Option.iter (fun path -> write_file path (Obs.render_chrome_trace ())) trace_out;
+      if stats then Obs.render_stats Format.err_formatter
+    end;
     let code = Checker.exit_code verdicts in
     if code = 0 then print_endline "OK: specification verified" else exit code
   in
@@ -170,7 +215,7 @@ let check_cmd =
          ])
     Term.(
       const run $ files $ warnings $ explain $ using $ max_states $ fuel $ jobs $ timeout
-      $ fault_injection)
+      $ fault_injection $ stats $ metrics_out $ trace_out)
 
 (* --- model ----------------------------------------------------------------- *)
 

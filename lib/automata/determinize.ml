@@ -1,13 +1,16 @@
 module Config_map = Map.Make (States.Set)
 
 let determinize ?(limits = Limits.default) ?alphabet nfa =
+  Obs.with_span "determinize" @@ fun () ->
   let alphabet =
     match alphabet with
     | Some syms -> List.sort_uniq Symbol.compare syms
     | None -> Symbol.Set.elements (Nfa.alphabet nfa)
   in
   (* Discover all reachable ε-closed configurations, numbering them densely. *)
-  let budget = Limits.fuel ~resource:"determinization states" limits.Limits.max_states in
+  let budget =
+    Limits.fuel ~within:limits ~resource:"determinization states" limits.Limits.max_states
+  in
   let index = ref Config_map.empty in
   let configs = ref [] in
   let count = ref 0 in
@@ -39,6 +42,8 @@ let determinize ?(limits = Limits.default) ?alphabet nfa =
       explore ()
   in
   explore ();
+  Obs.count "determinize.calls" 1;
+  Obs.count "determinize.states" !count;
   let configs = Array.of_list (List.rev !configs) in
   let accept =
     Array.to_list configs

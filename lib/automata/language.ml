@@ -12,6 +12,7 @@ module Pair_set = Set.Make (Pair)
    [bad] spots a distinguishing pair, and breadth-first order makes the
    witness shortest. *)
 let find_witness ?(limits = Limits.default) ?alphabet ~bad n1 n2 =
+  Obs.with_span "language.product" @@ fun () ->
   let alphabet =
     match alphabet with
     | Some set -> set
@@ -19,7 +20,8 @@ let find_witness ?(limits = Limits.default) ?alphabet ~bad n1 n2 =
   in
   let syms = Symbol.Set.elements alphabet in
   let budget =
-    Limits.fuel ~resource:"language-product configurations" limits.Limits.max_configs
+    Limits.fuel ~within:limits ~resource:"language-product configurations"
+      limits.Limits.max_configs
   in
   let seen = ref Pair_set.empty in
   let queue = Queue.create () in
@@ -44,7 +46,9 @@ let find_witness ?(limits = Limits.default) ?alphabet ~bad n1 n2 =
         loop ()
       end
   in
-  loop ()
+  let witness = loop () in
+  Obs.count "language.configs" (Pair_set.cardinal !seen);
+  witness
 
 let inclusion_counterexample ?limits ?alphabet ~impl ~spec () =
   find_witness ?limits ?alphabet ~bad:(fun a b -> a && not b) impl spec
@@ -58,12 +62,14 @@ let equivalence_counterexample ?limits n1 n2 =
 let equivalent ?limits n1 n2 = Option.is_none (equivalence_counterexample ?limits n1 n2)
 
 let intersect ?(limits = Limits.default) n1 n2 =
+  Obs.with_span "language.intersect" @@ fun () ->
   (* Explore reachable configuration pairs, interning each as a product
      state; the result is ε-free by construction. *)
   let alphabet = Symbol.Set.inter (Nfa.alphabet n1) (Nfa.alphabet n2) in
   let syms = Symbol.Set.elements alphabet in
   let budget =
-    Limits.fuel ~resource:"intersection-product configurations" limits.Limits.max_configs
+    Limits.fuel ~within:limits ~resource:"intersection-product configurations"
+      limits.Limits.max_configs
   in
   let index = Hashtbl.create 64 in
   let order = ref [] in

@@ -18,11 +18,25 @@ let guard ~class_name ~check f =
   | exception exn ->
     [ Report.Internal_error { class_name; check; message = Printexc.to_string exn } ]
 
+(* [guard] plus a span per (check, class) and per-phase fuel attribution:
+   diffing the budget ledger around the check turns cumulative fuel
+   accounting into fuel-consumed-by-this-check counters. *)
+let spanned ~limits ~class_name ~check f =
+  Obs.with_span ~args:[ ("class", class_name) ] check @@ fun () ->
+  let before = if Obs.enabled () then Limits.snapshot limits else [] in
+  let reports = guard ~class_name ~check f in
+  if Obs.enabled () then
+    List.iter
+      (fun (resource, d) -> Obs.count (Printf.sprintf "fuel.%s.%s" check resource) d)
+      (Limits.consumed limits ~before);
+  reports
+
 let verify_program ?(extra_env = fun _ -> None) ?(limits = Limits.default)
     (program : Mpy_ast.program) =
   let extractions =
     List.map
       (fun (cls : Mpy_ast.class_def) ->
+        Obs.with_span ~args:[ ("class", cls.Mpy_ast.cls_name) ] "extract" @@ fun () ->
         match Extract.extract_class cls with
         | extraction -> (cls, Ok extraction)
         | exception Limits.Budget_exceeded { resource; limit } ->
@@ -50,6 +64,7 @@ let verify_program ?(extra_env = fun _ -> None) ?(limits = Limits.default)
         | Error _ -> None)
       extractions
   in
+  Obs.count "models.extracted" (List.length models);
   let env name =
     match List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) models with
     | Some _ as found -> found
@@ -63,7 +78,7 @@ let verify_program ?(extra_env = fun _ -> None) ?(limits = Limits.default)
         | Ok (extraction : Extract.result) ->
           let model = extraction.Extract.model in
           let class_name = model.Model.name in
-          let run check f = guard ~class_name ~check f in
+          let run check f = spanned ~limits ~class_name ~check f in
           extraction.Extract.diagnostics
           @ run "validate" (fun () -> Validate.check model)
           @ run "usage" (fun () -> Usage.check ~limits ~env model)

@@ -13,13 +13,29 @@ type t = {
   usages_upto_6 : int;
 }
 
+let to_counters s =
+  [
+    ("model.operations", s.operations);
+    ("model.exit_points", s.exit_points);
+    ("model.subsystems", s.subsystems);
+    ("model.claims", s.claims);
+    ("model.ir_nodes", s.ir_nodes);
+    ("model.usage_states", s.usage_states);
+    ("model.usage_transitions", s.usage_transitions);
+    ("model.usage_min_dfa_states", s.usage_min_dfa_states);
+    ("model.expanded_states", s.expanded_states);
+    ("model.expanded_transitions", s.expanded_transitions);
+  ]
+
 let of_model (model : Model.t) =
+  Obs.with_span ~args:[ ("class", model.Model.name) ] "stats" @@ fun () ->
   let usage = Depgraph.usage_nfa model in
   let usage_states, usage_transitions = Nfa.count_states_and_transitions usage in
   let expanded = Usage.expanded_nfa model in
   let expanded_states, expanded_transitions = Nfa.count_states_and_transitions expanded in
   let min_dfa = Minimize.minimize (Determinize.determinize usage) in
-  {
+  let stats =
+    {
     class_name = model.Model.name;
     operations = List.length model.Model.operations;
     exit_points =
@@ -38,7 +54,10 @@ let of_model (model : Model.t) =
     expanded_states;
     expanded_transitions;
     usages_upto_6 = Trace.Set.cardinal (Nfa.words_upto ~max_len:6 usage);
-  }
+    }
+  in
+  if Obs.enabled () then List.iter (fun (k, n) -> Obs.count k n) (to_counters stats);
+  stats
 
 let pp fmt s =
   Format.fprintf fmt

@@ -20,6 +20,14 @@ type t = {
 }
 
 val of_model : Model.t -> t
+(** When the {!Obs} recorder is enabled, also runs under a ["stats"] span and
+    feeds every size below into the run's counters (keys as in
+    {!to_counters}). *)
+
+val to_counters : t -> (string * int) list
+(** The numeric fields as [("model." ^ field, value)] pairs, in declaration
+    order — the bridge between model metrics and the {!Obs} counter
+    namespace. *)
 
 val pp : Format.formatter -> t -> unit
 (** One aligned block per model. *)

@@ -28,6 +28,7 @@ let marked_behavior_regex (op : Model.operation) =
   Regex.alt_list (explicit_res @ implicit_res)
 
 let expanded_nfa ?(limits = Limits.default) (model : Model.t) =
+  Obs.with_span "usage.expand" @@ fun () ->
   (* Boundary states: 0 = start; one per (operation, exit). *)
   let boundary = Hashtbl.create 16 in
   let next_state = ref 1 in
@@ -49,8 +50,10 @@ let expanded_nfa ?(limits = Limits.default) (model : Model.t) =
   List.iter
     (fun (op : Model.operation) ->
       let behavior = marked_behavior_regex op in
-      Limits.check ~resource:"behavior regex size" ~limit:limits.Limits.max_regex_size
-        (Regex.size behavior);
+      let size = Regex.size behavior in
+      Limits.check ~within:limits ~resource:"behavior regex size"
+        ~limit:limits.Limits.max_regex_size size;
+      Obs.count "usage.regex_size" size;
       let body_nfa = Glushkov.of_regex behavior in
       let offset = !next_state in
       next_state := !next_state + Nfa.num_states body_nfa;
@@ -97,6 +100,7 @@ let expanded_nfa ?(limits = Limits.default) (model : Model.t) =
              op.exits)
          (Model.final_ops model)
   in
+  Obs.count "usage.nfa_states" !next_state;
   Nfa.create ~labels:!labels ~num_states:!next_state ~start:[ 0 ] ~accept
     ~transitions:!transitions ~epsilons:!epsilons ()
 

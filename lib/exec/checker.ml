@@ -2,6 +2,7 @@ type verdict = {
   path : string;
   output : string;
   code : int;
+  profile : Obs.profile option;
 }
 
 (* Deliberate misbehavior for the fault-injection tests: a worker that hangs
@@ -51,16 +52,13 @@ let read_file path =
 (* Renders exactly what the sequential `shelley check` loop has always
    printed, but into a buffer, so the parent process can replay blocks in
    input order no matter which worker finished first. *)
-let check_file ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
+let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
     ?(extra_env = fun _ -> None) path =
   fault_hook path;
   match read_file path with
   | exception Sys_error msg ->
-    {
-      path;
-      output = Format.asprintf "== %s ==@.Error: cannot read file: %s@.@." path msg;
-      code = 2;
-    }
+    ( Format.asprintf "== %s ==@.Error: cannot read file: %s@.@." path msg,
+      2 )
   | source ->
     let result = Pipeline.verify_source ~extra_env ~limits source in
     let reports =
@@ -89,41 +87,59 @@ let check_file ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
       else if not (Pipeline.verified result) then 1
       else 0
     in
-    { path; output = Buffer.contents buf; code }
+    (Buffer.contents buf, code)
+
+(* The whole file runs inside one [Obs] unit, so its span tree and counters
+   come back as one marshal-safe profile (strings and ints only) — identical
+   in shape whether this executes in-process or inside a forked worker. *)
+let check_file ?limits ?warnings ?explain ?extra_env path =
+  let (output, code), profile =
+    Obs.in_unit ~name:path (fun () ->
+        check_file_raw ?limits ?warnings ?explain ?extra_env path)
+  in
+  { path; output; code; profile }
 
 let fault_block path report =
   Format.asprintf "== %s ==@.%a@.@." path Report.pp report
 
 let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?extra_env
     paths =
-  (* Workers send back (output, code) only: plain marshal-safe data. The
-     verdict's [path] is re-attached from the input list, which also keeps
-     aggregation in input order. *)
+  (* Workers send back (output, code, profile) only: plain marshal-safe
+     data. The verdict's [path] is re-attached from the input list, which
+     also keeps aggregation in input order. *)
   let payload limits path =
     let v = check_file ~limits ?warnings ?explain ?extra_env path in
-    (v.output, v.code)
+    (v.output, v.code, v.profile)
   in
   let outcomes =
-    Runner.map ~jobs ?deadline:limits.Limits.deadline
+    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline
       ~retry:(payload (Limits.reduced limits))
       ~f:(payload limits) paths
   in
   List.map2
-    (fun path outcome ->
+    (fun path (outcome, lane) ->
       match outcome with
-      | Runner.Done (output, code) -> { path; output; code }
+      | Runner.Done (output, code, profile) ->
+        (* Merge the worker's profile into the parent recorder under its pool
+           lane; the sinks then see one timeline row per worker. *)
+        Option.iter (Obs.add_unit ~lane) profile;
+        { path; output; code; profile }
       | Runner.Timed_out { seconds; attempts } ->
+        Obs.count "checker.timeout_units" 1;
         {
           path;
           output = fault_block path (Report.Timeout { unit_name = path; seconds; attempts });
           code = 3;
+          profile = None;
         }
       | Runner.Crashed { reason; attempts } ->
+        Obs.count "checker.crashed_units" 1;
         {
           path;
           output =
             fault_block path (Report.Worker_crashed { unit_name = path; reason; attempts });
           code = 3;
+          profile = None;
         })
     paths outcomes
 

@@ -23,6 +23,12 @@ type verdict = {
       (** the file's full report block, ["== path ==…"], empty when the
           file verified silently *)
   code : int;  (** per-file exit code: 0 / 1 / 2 / 3, see {!exit_code} *)
+  profile : Obs.profile option;
+      (** the unit's span tree and counters when the {!Obs} recorder was
+          enabled during the check (in the worker, for forked units);
+          [None] when observability is off or the unit timed out /
+          crashed. Already merged into the parent recorder by
+          {!check_files}. *)
 }
 
 val check_file :
@@ -46,7 +52,14 @@ val check_files :
   verdict list
 (** All files, in input order, through a {!Runner} pool of [jobs] workers
     (default 1) with [limits.deadline] as the per-unit wall clock. With
-    [jobs <= 1] and no deadline this degenerates to {!check_file} in-process. *)
+    [jobs <= 1] and no deadline this degenerates to {!check_file} in-process.
+
+    When the {!Obs} recorder is enabled, each completed unit's profile
+    (captured inside the worker and marshaled back with the verdict) is
+    merged into the parent recorder under the worker's pool lane
+    ({!Runner.map_ex}), and timed-out / crashed units are tallied under
+    [checker.timeout_units] / [checker.crashed_units]. Observability never
+    touches [output]: report text stays byte-identical with it on or off. *)
 
 val exit_code : verdict list -> int
 (** The process exit code: the maximum per-file code. 0 = every file

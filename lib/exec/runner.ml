@@ -34,7 +34,15 @@ type worker = {
   buf : Buffer.t;
   deadline_at : float option;  (* absolute, Unix.gettimeofday clock *)
   attempt : int;
+  lane : int;  (* pool slot, 0 .. jobs-1; stable for a worker's lifetime *)
+  spawned_at : float;  (* stamp () at fork, 0.0 when obs is off *)
 }
+
+(* Pool timing only exists for the observability layer: when the recorder is
+   off, [stamp] costs one branch and the counters are never touched. *)
+let stamp () = if Obs.enabled () then Unix.gettimeofday () else 0.0
+let us since = int_of_float ((Unix.gettimeofday () -. since) *. 1e6)
+let tally key since = if Obs.enabled () then Obs.count key (us since)
 
 (* The child writes its payload with raw [Unix.write] and leaves with
    [Unix._exit]: no [at_exit] handlers, no flushing of stdio buffers
@@ -97,15 +105,22 @@ let run_inline ?retry ~f tasks =
   in
   List.map
     (fun x ->
-      match attempt_with f x ~attempts:1 with
-      | Done _ as done_ -> done_
-      | Timed_out _ | Crashed _ as failed -> (
-        match retry with
-        | None -> failed
-        | Some g -> attempt_with g x ~attempts:2))
+      let t0 = stamp () in
+      let outcome =
+        match attempt_with f x ~attempts:1 with
+        | Done _ as done_ -> done_
+        | Timed_out _ | Crashed _ as failed -> (
+          match retry with
+          | None -> failed
+          | Some g ->
+            if Obs.enabled () then Obs.count "runner.retries" 1;
+            attempt_with g x ~attempts:2)
+      in
+      tally "runner.task_wall_us" t0;
+      (outcome, 0))
     tasks
 
-let map ?(jobs = 1) ?deadline ?retry ~f tasks =
+let map_ex ?(jobs = 1) ?deadline ?retry ~f tasks =
   let n = List.length tasks in
   if n = 0 then []
   else if jobs <= 1 && deadline = None then run_inline ?retry ~f tasks
@@ -113,52 +128,90 @@ let map ?(jobs = 1) ?deadline ?retry ~f tasks =
     let tasks = Array.of_list tasks in
     let results = Array.make n None in
     let pending = Queue.create () in
-    Array.iteri (fun i _ -> Queue.add (i, 1) pending) tasks;
+    Array.iteri (fun i _ -> Queue.add (i, 1, stamp ()) pending) tasks;
     let workers = ref [] in
+    (* Pool slots ("lanes"): a worker claims the smallest free slot at fork
+       and releases it when reaped. Lane identity is what lets the trace sink
+       draw one timeline row per concurrent worker instead of one per task. *)
+    let free_lanes = ref (List.init (max 1 jobs) Fun.id) in
+    let claim_lane () =
+      match !free_lanes with
+      | lane :: rest ->
+        free_lanes := rest;
+        lane
+      | [] -> 0 (* unreachable: spawns are gated on pool occupancy *)
+    in
+    let release_lane lane =
+      free_lanes := List.sort compare (lane :: !free_lanes)
+    in
     (* A *failed* first attempt goes back on the queue when a retry function
        is available; a success is final immediately — re-running it would
        waste a worker and let the retry's (reduced-budget) result overwrite
        the good one. A failed second attempt is final too. *)
-    let settle idx attempt outcome =
+    let settle idx attempt lane outcome =
       match outcome with
-      | Done _ -> results.(idx) <- Some outcome
+      | Done _ -> results.(idx) <- Some (outcome, lane)
       | Timed_out _ | Crashed _ ->
-        if attempt = 1 && retry <> None then Queue.add (idx, 2) pending
-        else results.(idx) <- Some outcome
+        if attempt = 1 && retry <> None then begin
+          if Obs.enabled () then Obs.count "runner.retries" 1;
+          Queue.add (idx, 2, stamp ()) pending
+        end
+        else results.(idx) <- Some (outcome, lane)
     in
-    let spawn idx attempt =
+    let spawn idx attempt enqueued_at =
       (* Flush before forking: anything buffered would otherwise be written
          twice if the child ever touches the same channels. *)
       flush stdout;
       flush stderr;
       let g = if attempt = 1 then f else Option.get retry in
+      let fork_start = stamp () in
       match Unix.pipe () with
       | exception exn ->
-        settle idx attempt (Crashed { reason = Printexc.to_string exn; attempts = attempt })
+        settle idx attempt 0
+          (Crashed { reason = Printexc.to_string exn; attempts = attempt })
       | rd, wr -> (
         match Unix.fork () with
         | exception exn ->
           Unix.close rd;
           Unix.close wr;
-          settle idx attempt
+          settle idx attempt 0
             (Crashed { reason = Printexc.to_string exn; attempts = attempt })
         | 0 ->
           Unix.close rd;
           child_main ~task:tasks.(idx) ~wr g
         | pid ->
           Unix.close wr;
+          let lane = claim_lane () in
+          if Obs.enabled () then begin
+            Obs.count "runner.spawns" 1;
+            tally "runner.fork_us" fork_start;
+            tally "runner.queue_wait_us" enqueued_at
+          end;
           let deadline_at = Option.map (fun s -> Unix.gettimeofday () +. s) deadline in
           workers :=
-            { idx; pid; fd = rd; buf = Buffer.create 1024; deadline_at; attempt }
+            {
+              idx;
+              pid;
+              fd = rd;
+              buf = Buffer.create 1024;
+              deadline_at;
+              attempt;
+              lane;
+              spawned_at = fork_start;
+            }
             :: !workers)
     in
-    let drop w = workers := List.filter (fun w' -> w'.pid <> w.pid) !workers in
+    let drop w =
+      workers := List.filter (fun w' -> w'.pid <> w.pid) !workers;
+      release_lane w.lane
+    in
     (* EOF on the pipe: the child is done writing (or dead) — reap it. *)
     let finish w =
       drop w;
       (try Unix.close w.fd with _ -> ());
       let status = waitpid_no_eintr w.pid in
-      settle w.idx w.attempt (classify ~attempt:w.attempt status w.buf)
+      tally "runner.task_wall_us" w.spawned_at;
+      settle w.idx w.attempt w.lane (classify ~attempt:w.attempt status w.buf)
     in
     let kill_expired w =
       drop w;
@@ -166,14 +219,16 @@ let map ?(jobs = 1) ?deadline ?retry ~f tasks =
       (try Unix.kill (-w.pid) Sys.sigkill with Unix.Unix_error _ -> ());
       (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
       ignore (waitpid_no_eintr w.pid);
-      settle w.idx w.attempt
+      if Obs.enabled () then Obs.count "runner.kills" 1;
+      tally "runner.task_wall_us" w.spawned_at;
+      settle w.idx w.attempt w.lane
         (Timed_out { seconds = Option.get deadline; attempts = w.attempt })
     in
     let chunk = Bytes.create 65536 in
     while !workers <> [] || not (Queue.is_empty pending) do
       while List.length !workers < max 1 jobs && not (Queue.is_empty pending) do
-        let idx, attempt = Queue.pop pending in
-        spawn idx attempt
+        let idx, attempt, enqueued_at = Queue.pop pending in
+        spawn idx attempt enqueued_at
       done;
       if !workers <> [] then begin
         let now = Unix.gettimeofday () in
@@ -213,9 +268,12 @@ let map ?(jobs = 1) ?deadline ?retry ~f tasks =
     done;
     Array.to_list results
     |> List.map (function
-         | Some outcome -> outcome
+         | Some outcome_lane -> outcome_lane
          | None ->
            (* Unreachable: every queued (idx, attempt) either settles or
               re-queues exactly once, and the loop drains both sets. *)
-           Crashed { reason = "worker was never scheduled"; attempts = 0 })
+           (Crashed { reason = "worker was never scheduled"; attempts = 0 }, 0))
   end
+
+let map ?jobs ?deadline ?retry ~f tasks =
+  List.map fst (map_ex ?jobs ?deadline ?retry ~f tasks)

@@ -62,6 +62,27 @@ val map :
     same deadline — for a task whose first attempt timed out or crashed;
     its failure is final, reported with [attempts = 2]. *)
 
+val map_ex :
+  ?jobs:int ->
+  ?deadline:float ->
+  ?retry:('a -> 'r) ->
+  f:('a -> 'r) ->
+  'a list ->
+  ('r outcome * int) list
+(** {!map} plus, per task, the pool {e lane} (slot index, [0 .. jobs-1])
+    its settling attempt ran on. Lanes are claimed smallest-first at fork
+    and released at reap, so with [jobs = N] at most [N] lanes appear and
+    concurrently-running tasks never share one — exactly the property the
+    trace sink needs to draw one timeline row per worker. On the inline
+    path (no fork) every task reports lane [0].
+
+    When the {!Obs} recorder is enabled the pool also tallies its own
+    overhead counters on the parent recorder: [runner.spawns],
+    [runner.fork_us], [runner.queue_wait_us], [runner.task_wall_us],
+    [runner.kills], [runner.retries]. These use the real clock even under
+    the fake-clock regime (pool timing is inherently nondeterministic),
+    which is why they feed only the metrics sink, never the stats table. *)
+
 val signal_name : int -> string
 (** Human-readable name for an OCaml [Sys] signal number (["SIGKILL"],
     ["SIGSEGV"], …); ["signal <n>"] for unknown ones. Exposed for

@@ -22,6 +22,11 @@
     [Resource_limit] report, so one pathological check degrades gracefully
     while the others still run. *)
 
+type ledger
+(** Cumulative per-resource fuel accounting for one budget value — pure
+    observability (it feeds {!snapshot}); enforcement always happens in the
+    individual {!fuel} counters. *)
+
 type t = {
   max_states : int;
       (** Cap on discovered automaton states: subset-construction
@@ -38,6 +43,11 @@ type t = {
           worker process is killed ({!Runner}); [None] = no deadline. Unlike
           the fuel fields this is inherently nondeterministic — it exists to
           isolate hangs the fuel counters cannot reach. *)
+  ledger : ledger;
+      (** Tallies fuel drawn by every counter created [~within] this budget,
+          keyed by resource name. Mutable and shared by design: {!snapshot}
+          diffs taken around a pipeline phase yield fuel-consumed-per-phase
+          deltas for the observability layer. *)
 }
 
 exception Budget_exceeded of { resource : string; limit : int }
@@ -65,17 +75,19 @@ val make :
 
 val reduced : t -> t
 (** The degraded budget used for the retry after a unit times out or
-    crashes: every fuel field divided by 10 (floor 1), same deadline. The
-    intent is that a unit whose first attempt blew the wall clock exhausts
-    its (deterministic) fuel well before the deadline on the second attempt,
-    so the user sees a reproducible [Resource_limit] report naming the
-    hungry construction instead of a bare timeout. *)
+    crashes: every fuel field divided by 10 (floor 1), same deadline, fresh
+    ledger. The intent is that a unit whose first attempt blew the wall
+    clock exhausts its (deterministic) fuel well before the deadline on the
+    second attempt, so the user sees a reproducible [Resource_limit] report
+    naming the hungry construction instead of a bare timeout. *)
 
 val exceeded : resource:string -> limit:int -> 'a
 (** @raise Budget_exceeded always. *)
 
-val check : resource:string -> limit:int -> int -> unit
-(** [check ~resource ~limit n] raises iff [n > limit]. *)
+val check : ?within:t -> resource:string -> limit:int -> int -> unit
+(** [check ~resource ~limit n] raises iff [n > limit]. With [?within], a
+    passing check records [n] in the budget's ledger as a high-water mark
+    (sizes are not countdowns). *)
 
 (** {1 Fuel counters}
 
@@ -84,10 +96,28 @@ val check : resource:string -> limit:int -> int -> unit
 
 type fuel
 
-val fuel : resource:string -> int -> fuel
+val fuel : ?within:t -> resource:string -> int -> fuel
+(** With [?within], every {!spend} also tallies one unit against the
+    budget's ledger under [resource], feeding {!snapshot}. *)
 
 val spend : fuel -> unit
 (** @raise Budget_exceeded on the call after the fuel reaches zero. *)
+
+(** {1 Fuel observability} *)
+
+val snapshot : t -> (string * int) list
+(** Remaining fuel per resource name, sorted — [limit - total spent] over
+    every counter created [~within] this budget. Monotonically
+    non-increasing per key over time. A resource appears once the first
+    counter for it is created; the value may go negative when several
+    constructions each draw from the same budget field (each construction
+    is individually capped; the ledger records the cumulative draw). *)
+
+val consumed : t -> before:(string * int) list -> (string * int) list
+(** [consumed t ~before] diffs the current {!snapshot} against an earlier
+    one: positive per-resource fuel consumption since [before] (resources
+    first touched after [before] count from their full limit). Entries with
+    zero consumption are omitted. *)
 
 val describe : exn -> string option
 (** Human-readable rendering of {!Budget_exceeded}; [None] for other

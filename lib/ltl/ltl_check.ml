@@ -8,6 +8,7 @@ let pp_violation fmt v =
     v.counterexample
 
 let check ?limits ?(alphabet = Symbol.Set.empty) ~impl formula =
+  Obs.with_span "ltl.check" @@ fun () ->
   let full_alphabet =
     Symbol.Set.union alphabet (Symbol.Set.union (Nfa.alphabet impl) (Ltlf.atoms formula))
   in

@@ -71,8 +71,11 @@ module Fmap = Map.Make (struct
 end)
 
 let explore ?(limits = Limits.default) ~alphabet f =
+  Obs.with_span "progression" @@ fun () ->
   let start = normalize f in
-  let budget = Limits.fuel ~resource:"progression obligations" limits.Limits.max_states in
+  let budget =
+    Limits.fuel ~within:limits ~resource:"progression obligations" limits.Limits.max_states
+  in
   let index = ref Fmap.empty in
   let order = ref [] in
   let count = ref 0 in
@@ -104,6 +107,7 @@ let explore ?(limits = Limits.default) ~alphabet f =
       loop ()
   in
   loop ();
+  Obs.count "progression.obligations" !count;
   (start_id, Array.of_list (List.rev !order), edges, !count)
 
 let to_dfa ?limits ~alphabet f =

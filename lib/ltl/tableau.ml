@@ -91,7 +91,10 @@ let successors obligations event =
   |> List.sort_uniq Fset.compare
 
 let to_nfa ?(limits = Limits.default) ~alphabet f =
-  let budget = Limits.fuel ~resource:"tableau states" limits.Limits.max_states in
+  Obs.with_span "tableau" @@ fun () ->
+  let budget =
+    Limits.fuel ~within:limits ~resource:"tableau states" limits.Limits.max_states
+  in
   let alphabet = List.sort_uniq Symbol.compare alphabet in
   let index = Hashtbl.create 64 in
   let order = ref [] in
@@ -126,6 +129,7 @@ let to_nfa ?(limits = Limits.default) ~alphabet f =
       explore ()
   in
   explore ();
+  Obs.count "tableau.states" !count;
   let states = Array.of_list (List.rev !order) in
   let accept =
     List.filter (fun i -> accepting states.(i)) (List.init !count Fun.id)
@@ -133,6 +137,7 @@ let to_nfa ?(limits = Limits.default) ~alphabet f =
   Nfa.create ~num_states:(max 1 !count) ~start ~accept ~transitions:!transitions ()
 
 let check ?limits ?(alphabet = Symbol.Set.empty) ~impl formula =
+  Obs.with_span "ltl.check" @@ fun () ->
   let full_alphabet =
     Symbol.Set.union alphabet (Symbol.Set.union (Nfa.alphabet impl) (Ltlf.atoms formula))
   in

@@ -626,7 +626,9 @@ let parse_program source =
   { Mpy_ast.prog_classes = List.rev !classes; prog_toplevel = List.rev !toplevel }
 
 let parse_program_tolerant source =
-  match Mpy_lexer.tokenize source with
+  Obs.with_span "parse" @@ fun () ->
+  let result =
+    match Mpy_lexer.tokenize source with
   | exception Mpy_lexer.Lex_error (msg, line, col) ->
     ( { Mpy_ast.prog_classes = []; prog_toplevel = [] },
       [ { diag_message = msg; diag_line = line; diag_col = col } ] )
@@ -681,6 +683,11 @@ let parse_program_tolerant source =
     go ();
     ( { Mpy_ast.prog_classes = List.rev !classes; prog_toplevel = List.rev !toplevel },
       List.rev !diags )
+  in
+  let program, diags = result in
+  Obs.count "parse.classes" (List.length program.Mpy_ast.prog_classes);
+  Obs.count "parse.diagnostics" (List.length diags);
+  result
 
 let parse_class source =
   match (parse_program source).Mpy_ast.prog_classes with

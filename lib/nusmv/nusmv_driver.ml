@@ -156,6 +156,8 @@ let run_file ?binary ?(timeout = 30.0) path =
   match find_binary ?binary () with
   | Error searched -> { verdict = Tool_missing { searched }; stdout = ""; stderr = "" }
   | Ok exe -> (
+    Obs.with_span ~args:[ ("binary", exe) ] "nusmv.spawn" @@ fun () ->
+    Obs.count "nusmv.runs" 1;
     let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
     let out_rd, out_wr = Unix.pipe () in
     let err_rd, err_wr = Unix.pipe () in
@@ -193,6 +195,7 @@ let run_file ?binary ?(timeout = 30.0) path =
       Unix.close out_wr;
       Unix.close err_wr;
       let status, stdout, stderr, timed_out = drain_process ~timeout pid out_rd err_rd in
+      if timed_out then Obs.count "nusmv.timeouts" 1;
       let verdict =
         if timed_out then Tool_timeout { seconds = timeout }
         else classify_output ~status ~stdout ~stderr

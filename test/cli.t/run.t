@@ -286,3 +286,68 @@ the same class, and the divergence is reported with exit 1:
   native claims: failed
   cross-check: DIVERGENCE (native=failed, NuSMV=verified)
   [1]
+
+Observability: --stats prints a per-phase timing table and counter summary
+to stderr (stdout keeps only the reports). Under SHELLEY_OBS_FAKE_CLOCK the
+clock is a deterministic tick counter that restarts per verification unit,
+so the table is byte-identical between a sequential and a parallel run:
+
+  $ SHELLEY_OBS_FAKE_CLOCK=1 shelley check --stats -j 1 valve.py bad_sector.py >out1.txt 2>stats1.txt; echo "exit $?"
+  exit 1
+  $ SHELLEY_OBS_FAKE_CLOCK=1 shelley check --stats -j 4 valve.py bad_sector.py >out4.txt 2>stats4.txt; echo "exit $?"
+  exit 1
+  $ cmp stats1.txt stats4.txt && cmp out1.txt out4.txt && echo "identical"
+  identical
+  $ cat stats1.txt
+  == shelley run stats (2 units, clock: fake) ==
+  phase                                  count     total_us      mean_us
+  parse                                      2         2000         1000
+  extract                                    3         3000         1000
+  refine                                     3         3000         1000
+  invocation                                 3         3000         1000
+  claims                                     3        11000         3666
+  usage                                      3        11000         3666
+  validate                                   3         3000         1000
+  unit                                       2        58000        29000
+  usage.expand                               3         3000         1000
+  progression                                1         1000         1000
+  language.product                           3         3000         1000
+  ltl.check                                  1         5000         5000
+  counters
+    fuel.claims.behavior regex size                        17
+    fuel.claims.language-product configurations             7
+    fuel.claims.progression obligations                     3
+    fuel.usage.language-product configurations             29
+    language.configs                                       36
+    models.extracted                                        3
+    parse.classes                                           3
+    parse.diagnostics                                       0
+    progression.obligations                                 3
+    usage.nfa_states                                       66
+    usage.regex_size                                       84
+
+The metrics and trace sinks write JSON files; the report stream on stdout
+stays byte-identical to a run without any observability:
+
+  $ shelley check --metrics-out m.json --trace-out t.json -j 4 valve.py bad_sector.py > obs.out 2>&1; echo "exit $?"
+  exit 1
+  $ shelley check -j 4 valve.py bad_sector.py > plain.out 2>&1; echo "exit $?"
+  exit 1
+  $ cmp obs.out plain.out && echo "stdout identical"
+  stdout identical
+
+The metrics JSON carries its schema tag and the three top-level sections:
+
+  $ grep -o '"schema": "shelley.metrics/1"' m.json
+  "schema": "shelley.metrics/1"
+  $ grep -o '"units"\|"phases"\|"counters"' m.json | sort -u
+  "counters"
+  "phases"
+  "units"
+
+The Chrome trace names one timeline lane per worker process (two files on
+a -j 4 pool occupy lanes 0 and 1):
+
+  $ grep -o '"name": "worker [0-9]*"' t.json | sort -u
+  "name": "worker 0"
+  "name": "worker 1"
