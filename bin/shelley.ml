@@ -3,6 +3,7 @@
 
    Subcommands:
      shelley check  FILE... [-j N] [--timeout S]   run the verification pipeline
+     shelley lint   FILE... [--format text|json|sarif]   static analysis only
      shelley model  FILE [-c CLASS]    print extracted model(s)
      shelley viz    FILE [-c CLASS]    DOT diagram (--deps for the §3.1 graph)
      shelley nusmv  FILE -c CLASS      NuSMV translation (emission only)
@@ -54,6 +55,48 @@ let or_die = function
   | Error msg ->
     prerr_endline msg;
     exit 2
+
+(* Shared observability arguments: check and lint take the same three
+   sinks, and both keep their primary stdout stream byte-identical whether
+   the recorder is on or off. *)
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print a per-phase timing and counter summary to standard error \
+           after the run. Report output on standard output is unchanged. \
+           Set SHELLEY_OBS_FAKE_CLOCK=1 to replace wall-clock readings \
+           with a deterministic logical clock (for tests).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write run metrics (per-unit totals, per-phase aggregates, all \
+           counters) as JSON (schema shelley.metrics/1) to $(docv).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event file to $(docv): one timeline lane \
+           per worker process, loadable in chrome://tracing or Perfetto.")
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
+
+let flush_observability ~stats ~metrics_out ~trace_out =
+  Option.iter (fun path -> write_file path (Obs.render_metrics_json ())) metrics_out;
+  Option.iter (fun path -> write_file path (Obs.render_chrome_trace ())) trace_out;
+  if stats then Obs.render_stats Format.err_formatter
 
 (* --- check ----------------------------------------------------------------- *)
 
@@ -128,36 +171,19 @@ let check_cmd =
              (hang/crash workers by path substring) used by the \
              fault-isolation test suite.")
   in
-  let stats =
+  let lint =
     Arg.(
       value & flag
-      & info [ "stats" ]
+      & info [ "lint" ]
           ~doc:
-            "Print a per-phase timing and counter summary to standard error \
-             after the run. Report output on standard output is unchanged. \
-             Set SHELLEY_OBS_FAKE_CLOCK=1 to replace wall-clock readings \
-             with a deterministic logical clock (for tests).")
+            "Also run the static-analysis pass (see 'shelley lint') and \
+             append its semantic findings (SY101–SY108, …) to each file's \
+             report block. An error-severity finding fails the run (exit 1). \
+             Without this flag the output is exactly the classic check \
+             output.")
   in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"FILE"
-          ~doc:
-            "Write run metrics (per-unit totals, per-phase aggregates, all \
-             counters) as JSON (schema shelley.metrics/1) to $(docv).")
-  in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE"
-          ~doc:
-            "Write a Chrome trace_event file to $(docv): one timeline lane \
-             per worker process, loadable in chrome://tracing or Perfetto.")
-  in
-  let run files warnings explain using max_states fuel jobs timeout fault_injection stats
-      metrics_out trace_out =
+  let run files warnings explain lint using max_states fuel jobs timeout fault_injection
+      stats metrics_out trace_out =
     Checker.fault_injection := fault_injection;
     let extra_env =
       match Model_io.env_of_files using with
@@ -184,20 +210,10 @@ let check_cmd =
        with the maximum. Checker renders per-file blocks in the workers and
        replays them here in input order. *)
     let verdicts =
-      Checker.check_files ~jobs ~limits ~warnings ~explain ~extra_env files
+      Checker.check_files ~jobs ~limits ~warnings ~explain ~lint ~extra_env files
     in
     List.iter (fun (v : Checker.verdict) -> print_string v.Checker.output) verdicts;
-    if observe then begin
-      let write_file path contents =
-        let oc = open_out_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_out_noerr oc)
-          (fun () -> output_string oc contents)
-      in
-      Option.iter (fun path -> write_file path (Obs.render_metrics_json ())) metrics_out;
-      Option.iter (fun path -> write_file path (Obs.render_chrome_trace ())) trace_out;
-      if stats then Obs.render_stats Format.err_formatter
-    end;
+    if observe then flush_observability ~stats ~metrics_out ~trace_out;
     let code = Checker.exit_code verdicts in
     if code = 0 then print_endline "OK: specification verified" else exit code
   in
@@ -214,8 +230,130 @@ let check_cmd =
                 per-file wall-clock deadline, or a worker crash.";
          ])
     Term.(
-      const run $ files $ warnings $ explain $ using $ max_states $ fuel $ jobs $ timeout
-      $ fault_injection $ stats $ metrics_out $ trace_out)
+      const run $ files $ warnings $ explain $ lint $ using $ max_states $ fuel $ jobs
+      $ timeout $ fault_injection $ stats_arg $ metrics_out_arg $ trace_out_arg)
+
+(* --- lint ------------------------------------------------------------------ *)
+
+let lint_cmd =
+  (* [string], not [file], for the same reason as 'check': an unreadable
+     path must become a per-file SY011 diagnostic (exit 2), not an argument
+     parse error that aborts the other files. *)
+  let files = Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE") in
+  let format =
+    Arg.(
+      value & opt string "text"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,text) (one 'file:line: severity CODE \
+             [Class]: message' line per finding plus a summary), $(b,json) \
+             (the shelley.lint/1 envelope, findings and suppressions per \
+             file), or $(b,sarif) (SARIF 2.1.0, for code-scanning upload).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Lint files in N worker processes. Results are emitted in \
+                input order, so the output is byte-identical to a \
+                sequential run.")
+  in
+  let max_states =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-states" ] ~docv:"N"
+          ~doc:"Budget for automaton states built by the semantic rules. A \
+                rule that exceeds it reports SY090 for that class (exit 3) \
+                while every other rule still runs.")
+  in
+  let fuel =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Budget for product configurations explored by the \
+                language-level rules (SY101/SY104). Exceeding it reports \
+                SY090 for the affected class (exit 3).")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock deadline per file; a file whose worker outlives \
+                it is retried once under a reduced budget and finally \
+                reported as one SY090 finding while every other file still \
+                completes.")
+  in
+  let max_behavior_size =
+    Arg.(
+      value
+      & opt int Lint_semantic.default_thresholds.Lint_semantic.max_behavior_size
+      & info [ "max-behavior-size" ] ~docv:"N"
+          ~doc:"SY108 threshold: flag operations whose inferred behavior \
+                regex has more than N nodes.")
+  in
+  let max_star_height =
+    Arg.(
+      value
+      & opt int Lint_semantic.default_thresholds.Lint_semantic.max_star_height
+      & info [ "max-star-height" ] ~docv:"N"
+          ~doc:"SY108 threshold: flag operations whose behavior regex nests \
+                loops deeper than N.")
+  in
+  let run files format jobs max_states fuel timeout max_behavior_size max_star_height
+      stats metrics_out trace_out =
+    let format =
+      match Lint_render.format_of_string format with
+      | Ok f -> f
+      | Error msg ->
+        prerr_endline msg;
+        exit 2
+    in
+    let limits =
+      let d = Limits.default in
+      Limits.make
+        ~max_states:(Option.value max_states ~default:d.Limits.max_states)
+        ~max_configs:(Option.value fuel ~default:d.Limits.max_configs)
+        ?deadline:timeout ()
+    in
+    let thresholds =
+      { Lint_semantic.max_behavior_size; max_star_height }
+    in
+    let observe = stats || metrics_out <> None || trace_out <> None in
+    if observe then Obs.enable ();
+    let results = Checker.lint_files ~jobs ~limits ~thresholds files in
+    print_string (Lint_render.render format results);
+    if observe then flush_observability ~stats ~metrics_out ~trace_out;
+    let code = Lint.exit_code results in
+    if code <> 0 then exit code
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of annotated MicroPython sources: structural \
+          checks (SY001–SY007) plus semantic rules built on the \
+          verification machinery (dead operations, vacuous / unsatisfiable \
+          / redundant claims, unused or escaping subsystems, unreachable \
+          code, behavior blowup — SY101–SY108). Findings carry stable rule \
+          codes and can be silenced inline with '# shelley: \
+          disable=SY101,...' comments (end-of-line for that line, a \
+          standalone comment for the next line)."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"no error-severity finding in any file.";
+           Cmd.Exit.info 1 ~doc:"an error-severity finding is active.";
+           Cmd.Exit.info 2 ~doc:"a file could not be read or parsed cleanly.";
+           Cmd.Exit.info 3
+             ~doc:
+               "a lint rule exceeded its resource budget (SY090), or a \
+                file's worker outlived the wall-clock deadline.";
+         ])
+    Term.(
+      const run $ files $ format $ jobs $ max_states $ fuel $ timeout
+      $ max_behavior_size $ max_star_height $ stats_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* --- model ----------------------------------------------------------------- *)
 
@@ -682,6 +820,7 @@ let main_cmd =
     [
       export_cmd;
       check_cmd;
+      lint_cmd;
       model_cmd;
       viz_cmd;
       nusmv_cmd;

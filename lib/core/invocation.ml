@@ -1,28 +1,73 @@
-(* A call self.f.m(...) on a declared subsystem field. *)
-let subsystem_call ~(model : Model.t) expr =
+(* A call self.f.m(...) on a field selected by [fields]. *)
+let call_on ~fields expr =
   match expr with
   | Mpy_ast.Call (Mpy_ast.Attr (Mpy_ast.Attr (Mpy_ast.Name "self", field), meth), _)
-    when List.mem field model.Model.declared_subsystems ->
+    when fields field ->
     Some (field, meth)
   | _ -> None
 
-let rec subsystem_calls_in_expr ~model expr acc =
+let rec calls_in_expr ~fields expr acc =
   let acc =
-    match subsystem_call ~model expr with
+    match call_on ~fields expr with
     | Some call -> call :: acc
     | None -> acc
   in
   match expr with
   | Mpy_ast.Name _ | Str _ | Int _ | Bool _ | None_lit -> acc
-  | Attr (base, _) -> subsystem_calls_in_expr ~model base acc
+  | Attr (base, _) -> calls_in_expr ~fields base acc
   | Call (target, args) ->
-    let acc = subsystem_calls_in_expr ~model target acc in
-    List.fold_left (fun acc arg -> subsystem_calls_in_expr ~model arg acc) acc args
+    let acc = calls_in_expr ~fields target acc in
+    List.fold_left (fun acc arg -> calls_in_expr ~fields arg acc) acc args
   | List items | Tuple items ->
-    List.fold_left (fun acc item -> subsystem_calls_in_expr ~model item acc) acc items
-  | Binop (_, a, b) -> subsystem_calls_in_expr ~model b (subsystem_calls_in_expr ~model a acc)
-  | Unop (_, e) -> subsystem_calls_in_expr ~model e acc
-  | Subscript (e, i) -> subsystem_calls_in_expr ~model i (subsystem_calls_in_expr ~model e acc)
+    List.fold_left (fun acc item -> calls_in_expr ~fields item acc) acc items
+  | Binop (_, a, b) -> calls_in_expr ~fields b (calls_in_expr ~fields a acc)
+  | Unop (_, e) -> calls_in_expr ~fields e acc
+  | Subscript (e, i) -> calls_in_expr ~fields i (calls_in_expr ~fields e acc)
+
+(* The walk shared by the verification checks below and by the lint rules:
+   every self.f.m() call site outside __init__, in source order. *)
+let calls_on_fields ~fields (cls : Mpy_ast.class_def) =
+  let sites = ref [] in
+  let add line (field, meth) = sites := (line, field, meth) :: !sites in
+  let rec walk_block block = List.iter walk_stmt block
+  and walk_expr line e = List.iter (add line) (List.rev (calls_in_expr ~fields e []))
+  and walk_stmt (s : Mpy_ast.stmt) =
+    let line = s.Mpy_ast.stmt_line in
+    match s.Mpy_ast.stmt with
+    | Expr_stmt e -> walk_expr line e
+    | Assign (t, v) ->
+      walk_expr line t;
+      walk_expr line v
+    | Return value -> Option.iter (walk_expr line) value
+    | If (branches, else_block) ->
+      List.iter
+        (fun (cond, body) ->
+          walk_expr line cond;
+          walk_block body)
+        branches;
+      Option.iter walk_block else_block
+    | While (cond, body) ->
+      walk_expr line cond;
+      walk_block body
+    | For (_, iter, body) ->
+      walk_expr line iter;
+      walk_block body
+    | Match (scrutinee, cases) ->
+      walk_expr line scrutinee;
+      List.iter (fun (_, body) -> walk_block body) cases
+    | Pass | Break | Continue | Import -> ()
+  in
+  List.iter
+    (fun (meth : Mpy_ast.method_def) ->
+      if not (String.equal meth.meth_name "__init__") then walk_block meth.meth_body)
+    cls.Mpy_ast.cls_methods;
+  List.rev !sites
+
+let subsystem_call ~(model : Model.t) expr =
+  call_on ~fields:(fun f -> List.mem f model.Model.declared_subsystems) expr
+
+let subsystem_calls_in_expr ~model expr acc =
+  calls_in_expr ~fields:(fun f -> List.mem f model.Model.declared_subsystems) expr acc
 
 let check ~env ~(model : Model.t) (cls : Mpy_ast.class_def) =
   let class_name = cls.Mpy_ast.cls_name in

@@ -13,3 +13,10 @@ val check :
   env:Usage.env -> model:Model.t -> Mpy_ast.class_def -> Report.t list
 (** Diagnostics in source order. [model] must be the extraction of the given
     class (it provides the declared subsystem fields). *)
+
+val calls_on_fields :
+  fields:(string -> bool) -> Mpy_ast.class_def -> (int * string * string) list
+(** Every call site [self.f.m()] with [fields f], as [(line, f, m)] in
+    source order, over every method except [__init__]. The walk behind both
+    checks above, exposed for the lint pass (undeclared-subsystem-call
+    detection runs it with the *complement* of the declared fields). *)

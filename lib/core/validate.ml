@@ -1,24 +1,23 @@
-let check (model : Model.t) =
-  let class_name = model.Model.name in
-  let reports = ref [] in
-  let add ?line severity msg = reports := Report.structural ?line severity ~class_name msg :: !reports in
+let diagnostics (model : Model.t) =
+  let out = ref [] in
+  let add ?line rule msg = out := (rule, line, msg) :: !out in
   let ops = model.Model.operations in
   (* Duplicate names. *)
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (op : Model.operation) ->
       if Hashtbl.mem seen op.op_name then
-        add ~line:op.op_line Report.Error
+        add ~line:op.op_line Rules.duplicate_operation
           (Printf.sprintf "duplicate operation name '%s'" op.op_name)
       else Hashtbl.add seen op.op_name ())
     ops;
   if ops <> [] then begin
     if Model.initial_ops model = [] then
-      add ~line:model.Model.line Report.Error
+      add ~line:model.Model.line Rules.missing_initial
         "no operation is annotated @op_initial (or @op_initial_final): the class can \
          never be used";
     if Model.final_ops model = [] then
-      add ~line:model.Model.line Report.Error
+      add ~line:model.Model.line Rules.missing_final
         "no operation is annotated @op_final (or @op_initial_final): no usage of the \
          class can ever terminate"
   end;
@@ -30,14 +29,14 @@ let check (model : Model.t) =
           List.iter
             (fun next ->
               if Model.find_op model next = None then
-                add ~line:e.exit_line Report.Error
+                add ~line:e.exit_line Rules.unknown_next_operation
                   (Printf.sprintf
                      "operation '%s' returns unknown operation '%s' (declared operations: %s)"
                      op.op_name next
                      (String.concat ", " (Model.op_names model))))
             e.next_ops;
           if e.next_ops = [] && not (Annotations.is_final op.op_kind) && not e.implicit then
-            add ~line:e.exit_line Report.Error
+            add ~line:e.exit_line Rules.terminal_not_final
               (Printf.sprintf
                  "operation '%s' has a terminal exit (returns []) but is not @op_final: \
                   callers reaching it can neither continue nor stop"
@@ -49,7 +48,7 @@ let check (model : Model.t) =
   List.iter
     (fun (op : Model.operation) ->
       if not (List.mem op.op_name reachable) then
-        add ~line:op.op_line Report.Warning
+        add ~line:op.op_line Rules.unreachable_operation
           (Printf.sprintf "operation '%s' is unreachable from every initial operation"
              op.op_name))
     ops;
@@ -57,9 +56,16 @@ let check (model : Model.t) =
   List.iter
     (fun (op : Model.operation) ->
       if List.mem op.op_name reachable && not (List.mem op.op_name reaching) then
-        add ~line:op.op_line Report.Warning
+        add ~line:op.op_line Rules.no_final_reachable
           (Printf.sprintf
              "no final operation is reachable after '%s': objects get stuck there"
              op.op_name))
     ops;
-  List.rev !reports
+  List.rev !out
+
+let check (model : Model.t) =
+  let class_name = model.Model.name in
+  List.map
+    (fun ((rule : Rules.t), line, msg) ->
+      Report.structural ?line rule.Rules.severity ~class_name msg)
+    (diagnostics model)

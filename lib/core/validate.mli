@@ -2,18 +2,23 @@
 
     These checks do not need the environment: they catch classes whose own
     annotation structure is inconsistent before any caller is verified.
-    Severity [Error] means the model cannot be meaningfully checked against;
-    [Warning] flags likely specification bugs (unreachable operations,
-    guaranteed leaks). *)
+    Each check is an instance of a registered rule ({!Rules}), so the
+    verification pipeline and the lint pass emit one uniformly-worded
+    diagnostic per defect — [check] renders {!diagnostics} as reports, the
+    linter renders the same list with its stable codes. *)
+
+val diagnostics : Model.t -> (Rules.t * int option * string) list
+(** Every structural defect as [(rule, line, message)]. In order:
+    - {!Rules.duplicate_operation} (SY001, error);
+    - {!Rules.missing_initial} (SY002, error — while operations exist);
+    - {!Rules.missing_final} (SY003, error — every object's lifetime could
+      never end legally);
+    - {!Rules.unknown_next_operation} (SY004, error);
+    - {!Rules.terminal_not_final} (SY005, error — callers reaching the exit
+      can neither continue nor stop legally);
+    - {!Rules.unreachable_operation} (SY006, warning);
+    - {!Rules.no_final_reachable} (SY007, warning). *)
 
 val check : Model.t -> Report.t list
-(** In order:
-    - duplicate operation names (error);
-    - no initial operation while operations exist (error);
-    - no final operation while operations exist (error — every object's
-      lifetime could never end legally);
-    - a return list naming an operation the class does not declare (error);
-    - a non-final operation with a terminal exit (empty next list): callers
-      reaching it can neither continue nor stop legally (error);
-    - operations unreachable from every initial operation (warning);
-    - operations from which no final operation is reachable (warning). *)
+(** {!diagnostics} as {!Report.Structural} values, severity taken from each
+    rule. *)

@@ -49,11 +49,22 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* [check --lint] appends only what plain [check] does not already say:
+   the structural checks (SY001–SY007), syntax errors (SY010/SY011) and
+   extraction diagnostics (SY020) are printed by the pipeline as reports,
+   so the lint pass contributes the purely semantic codes on top. *)
+let lint_only (d : Lint.diagnostic) =
+  match d.Lint.rule with
+  | "SY001" | "SY002" | "SY003" | "SY004" | "SY005" | "SY006" | "SY007" | "SY010"
+  | "SY011" | "SY020" ->
+    false
+  | _ -> true
+
 (* Renders exactly what the sequential `shelley check` loop has always
    printed, but into a buffer, so the parent process can replay blocks in
    input order no matter which worker finished first. *)
 let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
-    ?(extra_env = fun _ -> None) path =
+    ?(lint = false) ?(extra_env = fun _ -> None) path =
   fault_hook path;
   match read_file path with
   | exception Sys_error msg ->
@@ -64,9 +75,21 @@ let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = fa
     let reports =
       if warnings then result.Pipeline.reports else Report.errors result.Pipeline.reports
     in
+    let lint_result =
+      if not lint then None
+      else begin
+        let r = Lint.lint_source ~limits ~file:path source in
+        Some { r with Lint.findings = List.filter lint_only r.Lint.findings }
+      end
+    in
+    let lint_findings =
+      match lint_result with
+      | None -> []
+      | Some r -> r.Lint.findings
+    in
     let buf = Buffer.create 256 in
     let fmt = Format.formatter_of_buffer buf in
-    if reports <> [] then begin
+    if reports <> [] || lint_findings <> [] then begin
       Format.fprintf fmt "== %s ==@." path;
       List.iter
         (fun r ->
@@ -78,7 +101,11 @@ let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = fa
                 | Some explanation -> Format.fprintf fmt "%a@.@." Explain.pp explanation
                 | None -> ())
               result.Pipeline.models)
-        reports
+        reports;
+      List.iter
+        (fun d -> Format.fprintf fmt "%s@." (Lint_render.text_line d))
+        lint_findings;
+      if lint_findings <> [] then Format.fprintf fmt "@."
     end;
     Format.pp_print_flush fmt ();
     let code =
@@ -87,28 +114,33 @@ let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = fa
       else if not (Pipeline.verified result) then 1
       else 0
     in
+    let code =
+      match lint_result with
+      | None -> code
+      | Some r -> max code (Lint.file_exit_code r)
+    in
     (Buffer.contents buf, code)
 
 (* The whole file runs inside one [Obs] unit, so its span tree and counters
    come back as one marshal-safe profile (strings and ints only) — identical
    in shape whether this executes in-process or inside a forked worker. *)
-let check_file ?limits ?warnings ?explain ?extra_env path =
+let check_file ?limits ?warnings ?explain ?lint ?extra_env path =
   let (output, code), profile =
     Obs.in_unit ~name:path (fun () ->
-        check_file_raw ?limits ?warnings ?explain ?extra_env path)
+        check_file_raw ?limits ?warnings ?explain ?lint ?extra_env path)
   in
   { path; output; code; profile }
 
 let fault_block path report =
   Format.asprintf "== %s ==@.%a@.@." path Report.pp report
 
-let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?extra_env
-    paths =
+let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?lint
+    ?extra_env paths =
   (* Workers send back (output, code, profile) only: plain marshal-safe
      data. The verdict's [path] is re-attached from the input list, which
      also keeps aggregation in input order. *)
   let payload limits path =
-    let v = check_file ~limits ?warnings ?explain ?extra_env path in
+    let v = check_file ~limits ?warnings ?explain ?lint ?extra_env path in
     (v.output, v.code, v.profile)
   in
   let outcomes =
@@ -144,3 +176,62 @@ let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?extra
     paths outcomes
 
 let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts
+
+(* --- Parallel linting -------------------------------------------------------
+
+   Same worker-pool shape as [check_files]: the payload is a
+   [Lint.file_result] — plain strings, ints and a small variant, so it
+   marshals across the result pipe — plus the unit's [Obs] profile. Results
+   are replayed in input order, so lint output is byte-identical for any
+   [-j] level. *)
+
+let lint_file ?limits ?thresholds path =
+  fault_hook path;
+  let result, profile =
+    Obs.in_unit ~name:path (fun () -> Lint.lint_path ?limits ?thresholds path)
+  in
+  (result, profile)
+
+let engine_result path (rule : Rules.t) message =
+  {
+    Lint.lint_file = path;
+    findings =
+      [
+        {
+          Lint.rule = rule.Rules.code;
+          rule_name = rule.Rules.name;
+          severity = rule.Rules.severity;
+          file = path;
+          line = 0;
+          class_name = "";
+          message;
+        };
+      ];
+    suppressed = [];
+  }
+
+let lint_files ?(jobs = 1) ?(limits = Limits.default) ?thresholds paths =
+  let payload limits path = lint_file ~limits ?thresholds path in
+  let outcomes =
+    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline
+      ~retry:(payload (Limits.reduced limits))
+      ~f:(payload limits) paths
+  in
+  List.map2
+    (fun path (outcome, lane) ->
+      match outcome with
+      | Runner.Done (result, profile) ->
+        Option.iter (Obs.add_unit ~lane) profile;
+        result
+      | Runner.Timed_out { seconds; attempts } ->
+        Obs.count "checker.timeout_units" 1;
+        engine_result path Rules.rule_resource_limit
+          (Printf.sprintf
+             "linting exceeded the %gs wall-clock deadline (%d attempts)" seconds
+             attempts)
+      | Runner.Crashed { reason; attempts } ->
+        Obs.count "checker.crashed_units" 1;
+        engine_result path Rules.rule_internal_error
+          (Printf.sprintf "lint worker died without a result: %s (%d attempts)" reason
+             attempts))
+    paths outcomes

@@ -35,18 +35,28 @@ val check_file :
   ?limits:Limits.t ->
   ?warnings:bool ->
   ?explain:bool ->
+  ?lint:bool ->
   ?extra_env:Usage.env ->
   string ->
   verdict
 (** Check one file in the current process (no fork, no deadline): read,
     verify tolerantly, render. Never raises on unreadable or broken input —
-    that is a rendered error block with code 2. *)
+    that is a rendered error block with code 2.
+
+    With [~lint:true], the lint pass ({!Lint.lint_source}) also runs and
+    its {e semantic} findings (SY012, SY090/SY091, SY101–SY108 — the codes
+    plain [check] has no counterpart for) are appended to the file's block
+    as [file:line: severity CODE \[Class\]: message] lines; an
+    error-severity lint finding raises the per-file code to at least 1.
+    With linting off the output is byte-identical to what [check] has
+    always printed. *)
 
 val check_files :
   ?jobs:int ->
   ?limits:Limits.t ->
   ?warnings:bool ->
   ?explain:bool ->
+  ?lint:bool ->
   ?extra_env:Usage.env ->
   string list ->
   verdict list
@@ -66,6 +76,21 @@ val exit_code : verdict list -> int
     verified; 1 = a verification failure; 2 = unreadable / syntax error;
     3 = a resource budget was exceeded — deterministic fuel, the wall-clock
     deadline, or a crashed worker. *)
+
+val lint_files :
+  ?jobs:int ->
+  ?limits:Limits.t ->
+  ?thresholds:Lint_semantic.thresholds ->
+  string list ->
+  Lint.file_result list
+(** All files through the lint engine ({!Lint.lint_path}), in input order,
+    using the same {!Runner} worker pool, wall-clock deadline and
+    reduced-budget retry as {!check_files}. [Lint.file_result] is
+    marshal-safe by construction, so it crosses the worker pipe as-is; a
+    unit that times out yields one SY090 finding, a crashed worker one
+    SY091 finding, and every other file still completes. Output built from
+    the results is byte-identical for any [jobs] level. Per-unit [Obs]
+    profiles merge into the parent recorder exactly as for checking. *)
 
 val fault_injection : bool ref
 (** Arms {!fault_hook}. Defaults to [false], in which case the hook is

@@ -1,0 +1,230 @@
+type diagnostic = {
+  rule : string;
+  rule_name : string;
+  severity : Report.severity;
+  file : string;
+  line : int;
+  class_name : string;
+  message : string;
+}
+
+type file_result = {
+  lint_file : string;
+  findings : diagnostic list;
+  suppressed : diagnostic list;
+}
+
+let diag ?(line = 0) ?(class_name = "") ?severity (rule : Rules.t) ~file message =
+  {
+    rule = rule.Rules.code;
+    rule_name = rule.Rules.name;
+    severity = Option.value severity ~default:rule.Rules.severity;
+    file;
+    line;
+    class_name;
+    message;
+  }
+
+(* Exception barrier around one rule of one class, with the pipeline's span
+   and counter conventions: findings are counted per rule code; a blown
+   budget or a crash becomes an engine diagnostic for this class while the
+   other rules still run. *)
+let guarded_rule ~file ~class_name (rule : Rules.t) f =
+  Obs.with_span
+    ~args:[ ("class", class_name); ("rule", rule.Rules.code) ]
+    ("lint." ^ rule.Rules.name)
+  @@ fun () ->
+  match f () with
+  | found ->
+    if found <> [] then Obs.count ("lint.findings." ^ rule.Rules.code) (List.length found);
+    List.map (fun (line, message) -> diag ?line ~class_name rule ~file message) found
+  | exception Limits.Budget_exceeded { resource; limit } ->
+    Obs.count "lint.rules_budget_exceeded" 1;
+    [
+      diag ~class_name Rules.rule_resource_limit ~file
+        (Printf.sprintf "lint rule %s (%s) exceeded its budget: %s (limit %d)"
+           rule.Rules.code rule.Rules.name resource limit);
+    ]
+  | exception exn ->
+    Obs.count "lint.rules_crashed" 1;
+    [
+      diag ~class_name Rules.rule_internal_error ~file
+        (Printf.sprintf "lint rule %s (%s) failed: %s" rule.Rules.code rule.Rules.name
+           (Printexc.to_string exn));
+    ]
+
+(* Extraction diagnostics are Report.Structural values; give them the SY020
+   umbrella code but keep their own severity and wording. *)
+let of_extraction_report ~file report =
+  match (report : Report.t) with
+  | Report.Structural { class_name; line; severity; message } ->
+    Some (diag ?line ~class_name ~severity Rules.annotation_error ~file message)
+  | _ -> None
+
+let structural_diagnostics ~file (model : Model.t) =
+  List.map
+    (fun ((rule : Rules.t), line, message) ->
+      diag ?line ~class_name:model.Model.name rule ~file message)
+    (Validate.diagnostics model)
+
+let semantic_diagnostics ~limits ~thresholds ~env ~file (cls, model) =
+  let ctx =
+    { Lint_semantic.limits; thresholds; env; cls; model }
+  in
+  List.concat_map
+    (fun (rule, run) ->
+      guarded_rule ~file ~class_name:model.Model.name rule (fun () -> run ctx))
+    Lint_semantic.rules
+
+(* --- Suppressions ----------------------------------------------------------
+
+   A suppression comment governs its own line when it trails code, and the
+   next line when it stands alone — so both of these silence the SY101 on
+   the operation at line 12:
+
+     12  @op    # shelley: disable=SY101
+     --
+     11  # shelley: disable=SY101
+     12  @op
+*)
+let suppression_plan source =
+  let sups = Mpy_parser.suppressions source in
+  let governed =
+    List.map
+      (fun (s : Mpy_parser.suppression) ->
+        let line = if s.Mpy_parser.sup_standalone then s.sup_line + 1 else s.sup_line in
+        (line, s.Mpy_parser.sup_codes))
+      sups
+  in
+  let unknown =
+    List.concat_map
+      (fun (s : Mpy_parser.suppression) ->
+        List.filter_map
+          (fun code ->
+            if Rules.find_code code = None then Some (s.Mpy_parser.sup_line, code)
+            else None)
+          s.Mpy_parser.sup_codes)
+      sups
+  in
+  (governed, unknown)
+
+let suppressed_by governed (d : diagnostic) =
+  d.line > 0
+  && List.exists
+       (fun (line, codes) ->
+         line = d.line && (codes = [] || List.mem d.rule codes))
+       governed
+
+let sort_diagnostics ds =
+  List.stable_sort
+    (fun a b ->
+      let c = compare a.line b.line in
+      if c <> 0 then c
+      else
+        let c = compare a.rule b.rule in
+        if c <> 0 then c else compare a.message b.message)
+    ds
+
+let lint_source ?(limits = Limits.default)
+    ?(thresholds = Lint_semantic.default_thresholds) ~file source =
+  Obs.with_span ~args:[ ("file", file) ] "lint" @@ fun () ->
+  let program, parse_diags = Mpy_parser.parse_program_tolerant source in
+  let syntax =
+    List.map
+      (fun (d : Mpy_parser.diagnostic) ->
+        diag ~line:d.Mpy_parser.diag_line Rules.syntax_error ~file
+          (Printf.sprintf "syntax error (col %d): %s" d.Mpy_parser.diag_col
+             d.Mpy_parser.diag_message))
+      parse_diags
+  in
+  (* Extract every class first: the semantic rules need the program-local
+     environment (undeclared-subsystem-call resolves field classes in it). *)
+  let extractions =
+    List.map
+      (fun (cls : Mpy_ast.class_def) ->
+        match Extract.extract_class cls with
+        | extraction -> (cls, Ok extraction)
+        | exception Limits.Budget_exceeded { resource; limit } ->
+          ( cls,
+            Error
+              (diag ~class_name:cls.Mpy_ast.cls_name Rules.rule_resource_limit ~file
+                 (Printf.sprintf "extraction exceeded its budget: %s (limit %d)" resource
+                    limit)) )
+        | exception exn ->
+          ( cls,
+            Error
+              (diag ~class_name:cls.Mpy_ast.cls_name Rules.rule_internal_error ~file
+                 (Printf.sprintf "extraction failed: %s" (Printexc.to_string exn))) ))
+      program.Mpy_ast.prog_classes
+  in
+  let models =
+    List.filter_map
+      (fun (_, ext) ->
+        match ext with
+        | Ok (e : Extract.result) -> Some e.Extract.model
+        | Error _ -> None)
+      extractions
+  in
+  let env name =
+    List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) models
+  in
+  let per_class =
+    List.concat_map
+      (fun (cls, ext) ->
+        match ext with
+        | Error d -> [ d ]
+        | Ok (extraction : Extract.result) ->
+          let model = extraction.Extract.model in
+          List.filter_map (of_extraction_report ~file) extraction.Extract.diagnostics
+          @ structural_diagnostics ~file model
+          @ semantic_diagnostics ~limits ~thresholds ~env ~file (cls, model))
+      extractions
+  in
+  let governed, unknown = suppression_plan source in
+  let unknown_diags =
+    List.map
+      (fun (line, code) ->
+        diag ~line Rules.unknown_suppression ~file
+          (Printf.sprintf "suppression comment names unknown rule code '%s'" code))
+      unknown
+  in
+  let all = syntax @ per_class @ unknown_diags in
+  let suppressed, findings = List.partition (suppressed_by governed) all in
+  Obs.count "lint.findings" (List.length findings);
+  Obs.count "lint.suppressed" (List.length suppressed);
+  {
+    lint_file = file;
+    findings = sort_diagnostics findings;
+    suppressed = sort_diagnostics suppressed;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_path ?limits ?thresholds path =
+  match read_file path with
+  | source -> lint_source ?limits ?thresholds ~file:path source
+  | exception Sys_error msg ->
+    {
+      lint_file = path;
+      findings = [ diag Rules.unreadable_file ~file:path ("cannot read file: " ^ msg) ];
+      suppressed = [];
+    }
+
+let file_exit_code r =
+  let has code = List.exists (fun d -> String.equal d.rule code) r.findings in
+  if has Rules.rule_resource_limit.Rules.code then 3
+  else if has Rules.syntax_error.Rules.code || has Rules.unreadable_file.Rules.code then 2
+  else if List.exists (fun d -> d.severity = Report.Error) r.findings then 1
+  else 0
+
+let exit_code results = List.fold_left (fun acc r -> max acc (file_exit_code r)) 0 results
+
+let count_severity results severity =
+  List.fold_left
+    (fun acc r ->
+      acc + List.length (List.filter (fun d -> d.severity = severity) r.findings))
+    0 results

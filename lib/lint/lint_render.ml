@@ -1,0 +1,259 @@
+type format =
+  | Text
+  | Json
+  | Sarif
+
+let format_of_string = function
+  | "text" -> Ok Text
+  | "json" -> Ok Json
+  | "sarif" -> Ok Sarif
+  | s -> Error (Printf.sprintf "unknown lint format '%s' (expected text, json or sarif)" s)
+
+let severity_word = function
+  | Report.Error -> "error"
+  | Report.Warning -> "warning"
+  | Report.Info -> "info"
+
+(* --- Text ------------------------------------------------------------------ *)
+
+let text_line (d : Lint.diagnostic) =
+  let pos = if d.Lint.line > 0 then Printf.sprintf ":%d" d.Lint.line else "" in
+  let cls = if d.Lint.class_name = "" then "" else Printf.sprintf " [%s]" d.Lint.class_name in
+  Printf.sprintf "%s%s: %s %s%s: %s" d.Lint.file pos (severity_word d.Lint.severity)
+    d.Lint.rule cls d.Lint.message
+
+let plural n word = if n = 1 then word else word ^ "s"
+
+let summary_line results =
+  let findings =
+    List.fold_left (fun acc (r : Lint.file_result) -> acc + List.length r.Lint.findings) 0
+      results
+  in
+  let suppressed =
+    List.fold_left
+      (fun acc (r : Lint.file_result) -> acc + List.length r.Lint.suppressed)
+      0 results
+  in
+  let nfiles = List.length results in
+  let files = Printf.sprintf "%d %s" nfiles (plural nfiles "file") in
+  let tail = if suppressed = 0 then "" else Printf.sprintf ", %d suppressed" suppressed in
+  if findings = 0 then Printf.sprintf "no findings in %s%s" files tail
+  else begin
+    let count severity =
+      let n = Lint.count_severity results severity in
+      if n = 0 then None else Some (Printf.sprintf "%d %s" n (plural n (severity_word severity)))
+    in
+    let breakdown =
+      List.filter_map count [ Report.Error; Report.Warning; Report.Info ]
+      |> String.concat ", "
+    in
+    Printf.sprintf "%d %s (%s) in %s%s" findings (plural findings "finding") breakdown
+      files tail
+  end
+
+let text results =
+  let lines =
+    List.concat_map
+      (fun (r : Lint.file_result) -> List.map text_line r.Lint.findings)
+      results
+  in
+  String.concat "" (List.map (fun l -> l ^ "\n") lines) ^ summary_line results ^ "\n"
+
+(* --- A small JSON emitter --------------------------------------------------
+
+   No JSON library in the build closure, so: a value type, a string escaper
+   covering the mandatory escapes (quote, backslash, control characters),
+   and a two-space pretty-printer. Objects print their fields in the order
+   given — determinism comes from construction order, not sorting. *)
+
+type json =
+  | S of string
+  | I of int
+  | L of json list
+  | O of (string * json) list
+
+let escape_string s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json v =
+  let b = Buffer.create 1024 in
+  let pad depth = Buffer.add_string b (String.make (2 * depth) ' ') in
+  let rec go depth = function
+    | S s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape_string s);
+      Buffer.add_char b '"'
+    | I n -> Buffer.add_string b (string_of_int n)
+    | L [] -> Buffer.add_string b "[]"
+    | L items ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (depth + 1);
+          go (depth + 1) item)
+        items;
+      Buffer.add_char b '\n';
+      pad depth;
+      Buffer.add_char b ']'
+    | O [] -> Buffer.add_string b "{}"
+    | O fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (depth + 1);
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape_string k);
+          Buffer.add_string b "\": ";
+          go (depth + 1) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad depth;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* --- shelley.lint/1 -------------------------------------------------------- *)
+
+let diagnostic_json (d : Lint.diagnostic) =
+  O
+    ([ ("rule", S d.Lint.rule);
+       ("name", S d.Lint.rule_name);
+       ("severity", S (severity_word d.Lint.severity));
+     ]
+    @ (if d.Lint.line > 0 then [ ("line", I d.Lint.line) ] else [])
+    @ (if d.Lint.class_name = "" then [] else [ ("class", S d.Lint.class_name) ])
+    @ [ ("message", S d.Lint.message) ])
+
+let json results =
+  let file_json (r : Lint.file_result) =
+    O
+      [ ("file", S r.Lint.lint_file);
+        ("findings", L (List.map diagnostic_json r.Lint.findings));
+        ("suppressed", L (List.map diagnostic_json r.Lint.suppressed));
+      ]
+  in
+  let suppressed =
+    List.fold_left
+      (fun acc (r : Lint.file_result) -> acc + List.length r.Lint.suppressed)
+      0 results
+  in
+  emit_json
+    (O
+       [ ("format", S "shelley.lint/1");
+         ("files", L (List.map file_json results));
+         ( "summary",
+           O
+             [ ("files", I (List.length results));
+               ( "findings",
+                 I
+                   (List.fold_left
+                      (fun acc (r : Lint.file_result) ->
+                        acc + List.length r.Lint.findings)
+                      0 results) );
+               ("errors", I (Lint.count_severity results Report.Error));
+               ("warnings", I (Lint.count_severity results Report.Warning));
+               ("infos", I (Lint.count_severity results Report.Info));
+               ("suppressed", I suppressed);
+             ] );
+       ])
+
+(* --- SARIF 2.1.0 ----------------------------------------------------------- *)
+
+let sarif_level = function
+  | Report.Error -> "error"
+  | Report.Warning -> "warning"
+  | Report.Info -> "note"
+
+let sarif results =
+  let rule_index =
+    List.mapi (fun i (r : Rules.t) -> (r.Rules.code, i)) Rules.all
+  in
+  let rules_json =
+    List.map
+      (fun (r : Rules.t) ->
+        O
+          [ ("id", S r.Rules.code);
+            ("name", S r.Rules.name);
+            ("shortDescription", O [ ("text", S r.Rules.summary) ]);
+            ("defaultConfiguration", O [ ("level", S (sarif_level r.Rules.severity)) ]);
+          ])
+      Rules.all
+  in
+  let result_json ~suppressed (d : Lint.diagnostic) =
+    let location =
+      O
+        [ ( "physicalLocation",
+            O
+              ([ ("artifactLocation", O [ ("uri", S d.Lint.file) ]) ]
+              @
+              if d.Lint.line > 0 then
+                [ ("region", O [ ("startLine", I d.Lint.line) ]) ]
+              else []) )
+        ]
+    in
+    let message =
+      if d.Lint.class_name = "" then d.Lint.message
+      else Printf.sprintf "[%s] %s" d.Lint.class_name d.Lint.message
+    in
+    O
+      ([ ("ruleId", S d.Lint.rule) ]
+      @ (match List.assoc_opt d.Lint.rule rule_index with
+        | Some i -> [ ("ruleIndex", I i) ]
+        | None -> [])
+      @ [ ("level", S (sarif_level d.Lint.severity));
+          ("message", O [ ("text", S message) ]);
+          ("locations", L [ location ]);
+        ]
+      @
+      if suppressed then [ ("suppressions", L [ O [ ("kind", S "inSource") ] ]) ]
+      else [])
+  in
+  let all_results =
+    List.concat_map
+      (fun (r : Lint.file_result) ->
+        List.map (result_json ~suppressed:false) r.Lint.findings
+        @ List.map (result_json ~suppressed:true) r.Lint.suppressed)
+      results
+  in
+  emit_json
+    (O
+       [ ("$schema", S "https://json.schemastore.org/sarif-2.1.0.json");
+         ("version", S "2.1.0");
+         ( "runs",
+           L
+             [ O
+                 [ ( "tool",
+                     O
+                       [ ( "driver",
+                           O
+                             [ ("name", S "shelley");
+                               ( "informationUri",
+                                 S "https://github.com/shelley-checker/shelley" );
+                               ("rules", L rules_json);
+                             ] )
+                       ] );
+                   ("results", L all_results);
+                 ]
+             ] );
+       ])
+
+let render = function
+  | Text -> text
+  | Json -> json
+  | Sarif -> sarif

@@ -1,0 +1,44 @@
+(** Renderers for lint results: human text, machine JSON, SARIF 2.1.0.
+
+    All three are deterministic functions of the {!Lint.file_result} list —
+    no clocks, no environment — so the same inputs always produce the same
+    bytes regardless of [-j] level or input-file order (the driver replays
+    results in input order). *)
+
+type format =
+  | Text
+  | Json  (** the [shelley.lint/1] envelope *)
+  | Sarif  (** SARIF 2.1.0, for code-scanning upload *)
+
+val format_of_string : string -> (format, string) result
+(** Accepts ["text"], ["json"], ["sarif"]. *)
+
+val severity_word : Report.severity -> string
+(** ["error"] / ["warning"] / ["info"] — shared by the text renderer and
+    [check --lint]. *)
+
+val text_line : Lint.diagnostic -> string
+(** One finding as ["file:line: severity SY101 \[Class\]: message"]. The
+    [:line] part is omitted when the diagnostic has no position and the
+    [\[Class\]] part when it has no class context. *)
+
+val text : Lint.file_result list -> string
+(** Every active finding (one {!text_line} each, files in input order)
+    followed by a summary line, e.g.
+    ["3 findings (1 error, 2 warnings) in 2 files, 1 suppressed"] or
+    ["no findings in 2 files"]. Ends with a newline. *)
+
+val json : Lint.file_result list -> string
+(** The [shelley.lint/1] envelope: per-file findings and suppressed
+    diagnostics plus a summary object. Pretty-printed, ends with a
+    newline. *)
+
+val sarif : Lint.file_result list -> string
+(** A single-run SARIF 2.1.0 log: the full {!Rules.all} registry as
+    [tool.driver.rules], one [result] per diagnostic ([level] maps
+    Error/Warning/Info to [error]/[warning]/[note]), file and line as a
+    [physicalLocation] when known, and suppressed findings carried with
+    [suppressions: \[{kind: "inSource"}\]] rather than dropped.
+    Pretty-printed, ends with a newline. *)
+
+val render : format -> Lint.file_result list -> string

@@ -1,0 +1,276 @@
+type thresholds = {
+  max_behavior_size : int;
+  max_star_height : int;
+}
+
+let default_thresholds = { max_behavior_size = 200; max_star_height = 3 }
+
+type ctx = {
+  limits : Limits.t;
+  thresholds : thresholds;
+  env : string -> Model.t option;
+  cls : Mpy_ast.class_def;
+  model : Model.t;
+}
+
+(* --- SY101 dead operation --------------------------------------------------
+
+   An operation is dead when no *accepted* usage word contains it: callers
+   can never legally exercise it to completion. This unifies (and subsumes,
+   at the language level) the two graph-reachability warnings SY006/SY007:
+   the witness language  L(usage) ∩ Σ*·op·Σ*  is empty iff the operation is
+   unreachable from every initial operation or no final operation is
+   reachable beyond it. *)
+
+let dead_operation ctx =
+  let model = ctx.model in
+  if model.Model.operations = [] || Model.initial_ops model = []
+     || Model.final_ops model = []
+  then [] (* SY002/SY003 already explain why nothing is usable *)
+  else begin
+    let dfa = Determinize.determinize ~limits:ctx.limits (Depgraph.usage_nfa model) in
+    let alphabet = Dfa.alphabet dfa in
+    List.filter_map
+      (fun (op : Model.operation) ->
+        let sym = Model.entry_symbol op in
+        let dead =
+          if not (Dfa.mem_alphabet dfa sym) then true
+          else begin
+            (* Σ*·op·Σ* over the usage alphabet, as a two-state DFA. *)
+            let contains =
+              Dfa.create ~alphabet ~num_states:2 ~start:0 ~accept:[ 1 ]
+                ~next:(fun s x -> if s = 1 || Symbol.equal x sym then 1 else s)
+            in
+            Dfa.is_empty (Dfa.intersect dfa contains)
+          end
+        in
+        if dead then
+          Some
+            ( Some op.op_line,
+              Printf.sprintf
+                "operation '%s' occurs in no accepted usage of %s: no caller can \
+                 legally exercise it"
+                op.op_name model.Model.name )
+        else None)
+      model.Model.operations
+  end
+
+(* --- Claim rules (SY102/SY103/SY104) --------------------------------------- *)
+
+(* The alphabet all claim automata are built over: the class's subsystem-call
+   events plus every atom any claim mentions. *)
+let claim_alphabet ctx impl =
+  List.fold_left
+    (fun acc (_, formula) -> Symbol.Set.union acc (Ltlf.atoms formula))
+    (Nfa.alphabet impl) ctx.model.Model.claims
+
+let universal_nfa alphabet =
+  Nfa.create ~num_states:1 ~start:[ 0 ] ~accept:[ 0 ]
+    ~transitions:(List.map (fun sym -> (0, sym, 0)) (Symbol.Set.elements alphabet))
+    ()
+
+let vacuous_claim ctx =
+  let model = ctx.model in
+  if model.Model.claims = [] then []
+  else begin
+    let impl = Claims.subsystem_call_nfa ~limits:ctx.limits model in
+    let alphabet = claim_alphabet ctx impl in
+    let no_calls = Symbol.Set.is_empty (Nfa.alphabet impl) in
+    List.filter_map
+      (fun (text, formula) ->
+        if no_calls then
+          Some
+            ( Some model.Model.line,
+              Printf.sprintf
+                "claim '%s' is vacuous: %s performs no subsystem calls, so the claim \
+                 is checked only against the empty trace"
+                text model.Model.name )
+        else if
+          (not (Symbol.Set.is_empty alphabet))
+          && Result.is_ok
+               (Ltl_check.check ~limits:ctx.limits ~impl:(universal_nfa alphabet) formula)
+        then
+          Some
+            ( Some model.Model.line,
+              Printf.sprintf
+                "claim '%s' is vacuous: it holds over every trace (a tautology over \
+                 the class's events)"
+                text )
+        else None)
+      model.Model.claims
+  end
+
+let unsatisfiable_claim ctx =
+  let model = ctx.model in
+  if model.Model.claims = [] then []
+  else begin
+    let impl = Claims.subsystem_call_nfa ~limits:ctx.limits model in
+    let alphabet = claim_alphabet ctx impl in
+    if Symbol.Set.is_empty alphabet then []
+    else
+      List.filter_map
+        (fun (text, formula) ->
+          let nfa =
+            Tableau.to_nfa ~limits:ctx.limits
+              ~alphabet:(Symbol.Set.elements alphabet)
+              formula
+          in
+          (* The empty trace also satisfies a claim; a claim is contradictory
+             only when no trace — empty or not — models it. *)
+          if Nfa.is_empty nfa && not (Ltlf.holds formula []) then
+            Some
+              ( Some model.Model.line,
+                Printf.sprintf
+                  "claim '%s' is unsatisfiable: no trace at all can satisfy it, so \
+                   verification can only fail"
+                  text )
+          else None)
+        model.Model.claims
+  end
+
+let redundant_claim ctx =
+  let model = ctx.model in
+  match model.Model.claims with
+  | [] | [ _ ] -> [] (* redundancy is relative to the *other* claims *)
+  | claims ->
+    let impl = Claims.subsystem_call_nfa ~limits:ctx.limits model in
+    let alphabet = claim_alphabet ctx impl in
+    let alpha_list = Symbol.Set.elements alphabet in
+    let nfas =
+      List.map
+        (fun (text, formula) ->
+          (text, Tableau.to_nfa ~limits:ctx.limits ~alphabet:alpha_list formula))
+        claims
+    in
+    List.mapi (fun i (text, spec) -> (i, text, spec)) nfas
+    |> List.filter_map (fun (i, text, spec) ->
+           let others =
+             List.filteri (fun j _ -> j <> i) nfas |> List.map snd
+           in
+           let constrained =
+             List.fold_left
+               (fun acc nfa -> Language.intersect ~limits:ctx.limits acc nfa)
+               impl others
+           in
+           if Language.included ~limits:ctx.limits ~alphabet ~impl:constrained ~spec ()
+           then
+             Some
+               ( Some model.Model.line,
+                 Printf.sprintf
+                   "claim '%s' is redundant: the usage language and the remaining \
+                    claims already imply it"
+                   text )
+           else None)
+
+(* --- SY105 unused declared subsystem --------------------------------------- *)
+
+let unused_subsystem ctx =
+  let model = ctx.model in
+  let called_scopes =
+    List.fold_left
+      (fun acc (op : Model.operation) ->
+        Symbol.Set.fold
+          (fun sym acc ->
+            match Symbol.split_scope sym with
+            | Some (scope, _) -> scope :: acc
+            | None -> acc)
+          (Regex.alphabet (Model.behavior_of_op op))
+          acc)
+      [] model.Model.operations
+  in
+  List.filter_map
+    (fun field ->
+      if List.mem field called_scopes then None
+      else
+        Some
+          ( Some model.Model.line,
+            Printf.sprintf
+              "declared subsystem '%s' is never called by any operation of %s" field
+              model.Model.name ))
+    model.Model.declared_subsystems
+
+(* --- SY106 undeclared subsystem call --------------------------------------- *)
+
+let undeclared_subsystem_call ctx =
+  let model = ctx.model in
+  let escaping field =
+    (not (List.mem field model.Model.declared_subsystems))
+    && (match List.assoc_opt field model.Model.subsystem_fields with
+       | Some cls_name -> ctx.env cls_name <> None
+       | None -> false)
+  in
+  Invocation.calls_on_fields ~fields:escaping ctx.cls
+  |> List.map (fun (line, field, meth) ->
+         let cls_name =
+           Option.value ~default:"?" (List.assoc_opt field model.Model.subsystem_fields)
+         in
+         ( Some line,
+           Printf.sprintf
+             "call '%s.%s' escapes verification: field '%s' holds modeled class %s \
+              but is not declared in @sys([...])"
+             field meth field cls_name ))
+
+(* --- SY107 unreachable code after return ----------------------------------- *)
+
+(* The lowering erases statements of no interest to [Skip], so "unreachable"
+   is only reported when the dead region still performs calls (or returns) —
+   i.e. when the dead code would have mattered to the inferred behavior. *)
+let unreachable_after_return ctx =
+  let interesting p =
+    (not (Symbol.Set.is_empty (Prog.calls p))) || Prog.has_return p
+  in
+  let rec dead = function
+    | Prog.Seq (a, b) -> (Prog.always_returns a && interesting b) || dead a || dead b
+    | Prog.If (a, b) -> dead a || dead b
+    | Prog.Loop p -> dead p
+    | Prog.Call _ | Prog.Skip | Prog.Return -> false
+  in
+  List.filter_map
+    (fun (op : Model.operation) ->
+      if dead op.plain_body then
+        Some
+          ( Some op.op_line,
+            Printf.sprintf
+              "operation '%s' performs calls after a point where every path has \
+               returned: they can never execute"
+              op.op_name )
+      else None)
+    ctx.model.Model.operations
+
+(* --- SY108 behavior blowup -------------------------------------------------- *)
+
+let behavior_blowup ctx =
+  let t = ctx.thresholds in
+  List.filter_map
+    (fun (op : Model.operation) ->
+      let r = Model.behavior_of_op op in
+      let size = Regex.size r in
+      let height = Regex.star_height r in
+      if size > t.max_behavior_size then
+        Some
+          ( Some op.op_line,
+            Printf.sprintf
+              "behavior of '%s' has %d regex nodes (threshold %d): downstream \
+               automaton constructions may blow up"
+              op.op_name size t.max_behavior_size )
+      else if height > t.max_star_height then
+        Some
+          ( Some op.op_line,
+            Printf.sprintf
+              "behavior of '%s' nests %d loops (star-height threshold %d): \
+               downstream automaton constructions may blow up"
+              op.op_name height t.max_star_height )
+      else None)
+    ctx.model.Model.operations
+
+let rules =
+  [
+    (Rules.dead_operation, dead_operation);
+    (Rules.vacuous_claim, vacuous_claim);
+    (Rules.unsatisfiable_claim, unsatisfiable_claim);
+    (Rules.redundant_claim, redundant_claim);
+    (Rules.unused_subsystem, unused_subsystem);
+    (Rules.undeclared_subsystem_call, undeclared_subsystem_call);
+    (Rules.unreachable_after_return, unreachable_after_return);
+    (Rules.behavior_blowup, behavior_blowup);
+  ]

@@ -1,0 +1,42 @@
+(** The semantic lint rules (SY101–SY108).
+
+    Where {!Validate} checks the *shape* of a model, these rules reuse the
+    verification machinery itself — usage automata, language inclusion,
+    LTLf tableau/progression — to catch specification bugs that only show
+    up at the language level: operations no accepted usage exercises,
+    claims that constrain nothing (or can never hold, or are implied by
+    the rest of the specification), subsystems that are declared but never
+    driven, calls that silently escape verification, code the lowered
+    bodies can never reach, and behavior regexes big enough to make the
+    downstream automata expensive.
+
+    Every rule runs under the caller's {!Limits.t} fuel budget; a blown
+    budget surfaces as {!Limits.Budget_exceeded}, which the engine
+    ({!Lint}) converts into an SY090 diagnostic for that class while the
+    other rules still run. *)
+
+type thresholds = {
+  max_behavior_size : int;
+      (** SY108 fires when an operation's inferred behavior regex has more
+          AST nodes than this. *)
+  max_star_height : int;
+      (** SY108 fires when the regex nests stars deeper than this. *)
+}
+
+val default_thresholds : thresholds
+(** [{ max_behavior_size = 200; max_star_height = 3 }] — generous for
+    hand-written classes, low enough to flag machine-generated blowup
+    before the expanded-automaton checks pay for it. *)
+
+type ctx = {
+  limits : Limits.t;
+  thresholds : thresholds;
+  env : string -> Model.t option;
+      (** resolve a class name to its extracted model (program-local) *)
+  cls : Mpy_ast.class_def;  (** the class's surface syntax (for call sites) *)
+  model : Model.t;
+}
+
+val rules : (Rules.t * (ctx -> (int option * string) list)) list
+(** Every semantic rule with its registry entry, in code order. A rule
+    returns its findings as [(line, message)] pairs, in source order. *)

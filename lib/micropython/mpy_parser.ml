@@ -704,3 +704,61 @@ let parse_expression source =
   skip_newlines cur;
   expect cur Eof;
   e
+
+(* --- Suppression comments -------------------------------------------------- *)
+
+type suppression = {
+  sup_line : int;
+  sup_codes : string list;
+  sup_standalone : bool;
+}
+
+(* The lexer discards comments wholesale, so suppressions are recovered by a
+   raw line scan: a comment of the shape
+
+     # shelley: disable=SY001,SY104
+     # shelley: disable
+
+   anywhere on a line. Codes are comma-separated; 'disable' without '='
+   (or with an empty list) suppresses every rule. *)
+let suppressions source =
+  let is_space c = c = ' ' || c = '\t' in
+  let suppression_of_line line_no line =
+    match String.index_opt line '#' with
+    | None -> None
+    | Some hash -> (
+      let standalone =
+        String.for_all is_space (String.sub line 0 hash)
+      in
+      let comment =
+        String.sub line (hash + 1) (String.length line - hash - 1) |> String.trim
+      in
+      let strip_prefix prefix s =
+        if String.length s >= String.length prefix
+           && String.equal (String.sub s 0 (String.length prefix)) prefix
+        then Some (String.sub s (String.length prefix) (String.length s - String.length prefix))
+        else None
+      in
+      match strip_prefix "shelley:" comment with
+      | None -> None
+      | Some rest -> (
+        let rest = String.trim rest in
+        match strip_prefix "disable" rest with
+        | None -> None
+        | Some tail -> (
+          let tail = String.trim tail in
+          match tail with
+          | "" -> Some { sup_line = line_no; sup_codes = []; sup_standalone = standalone }
+          | _ when tail.[0] = '=' ->
+            let codes =
+              String.sub tail 1 (String.length tail - 1)
+              |> String.split_on_char ','
+              |> List.map String.trim
+              |> List.filter (fun c -> c <> "")
+            in
+            Some { sup_line = line_no; sup_codes = codes; sup_standalone = standalone }
+          | _ -> None)))
+  in
+  String.split_on_char '\n' source
+  |> List.mapi (fun i line -> suppression_of_line (i + 1) line)
+  |> List.filter_map Fun.id

@@ -35,6 +35,20 @@ val parse_program_tolerant : string -> Mpy_ast.program * diagnostic list
     definitions; recovery then resumes at the next syntactically intact
     top-level [class]. *)
 
+type suppression = {
+  sup_line : int;  (** 1-based line the comment sits on *)
+  sup_codes : string list;  (** rule codes named after [disable=]; [] = all *)
+  sup_standalone : bool;
+      (** the comment is the whole line (only whitespace before [#]); such a
+          suppression governs the *next* line, an end-of-line one its own *)
+}
+
+val suppressions : string -> suppression list
+(** Every [# shelley: disable=SY001,SY104] (or bare [# shelley: disable])
+    comment in the source, in line order. The lexer discards comments, so
+    this is a raw line scan — it never fails, even on sources the parser
+    rejects. *)
+
 val parse_class : string -> Mpy_ast.class_def
 (** Convenience: parse a source expected to contain exactly one class.
     @raise Parse_error if there is not exactly one class definition. *)

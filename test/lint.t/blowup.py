@@ -1,0 +1,31 @@
+# SY108 positive (with --max-star-height 1): the inner loop survives
+# simplification because the outer iteration interleaves it with another
+# call, so the behavior regex ((a.open a.close*))* nests stars two deep.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["open"]
+
+
+@sys(["a"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        while self.busy():
+            self.a.open()
+            while self.hot():
+                self.a.close()
+        return []

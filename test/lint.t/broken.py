@@ -1,0 +1,5 @@
+# SY010 positive: the malformed header drops this class, and the file exits 2.
+@sys
+class Broken
+    def __init__(self):
+        self.pin = Pin(1, OUT)

@@ -1,0 +1,41 @@
+# A correct composite: every rule's negative case. The valves are driven
+# through their full protocol, the claim is contingent (neither vacuous,
+# unsatisfiable, nor implied by the other), both declared subsystems are
+# used, and no modeled field escapes the @sys declaration.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+        self.status = Pin(29, IN)
+
+    @op_initial
+    def test(self):
+        return ["open"]
+
+    @op
+    def open(self):
+        self.control.on()
+        return ["close"]
+
+    @op_final
+    def close(self):
+        self.control.off()
+        return ["test"]
+
+
+@claim("(!a.open) W b.open")
+@sys(["a", "b"])
+class Sector:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def drain(self):
+        self.b.test()
+        self.b.open()
+        self.a.test()
+        self.a.open()
+        self.a.close()
+        self.b.close()
+        return []

@@ -1,0 +1,16 @@
+# SY101 positive: 'drain' is declared but no accepted usage contains it —
+# nothing returns to it from the initial operation.
+@sys
+class Tank:
+    def __init__(self):
+        self.pump = Pin(1, OUT)
+
+    @op_initial_final
+    def fill(self):
+        self.pump.on()
+        return ["fill"]
+
+    @op_final
+    def drain(self):
+        self.pump.off()
+        return []

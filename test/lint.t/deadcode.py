@@ -1,0 +1,23 @@
+# SY107 positive: the subsystem call after the unconditional return can
+# never execute.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial_final
+    def open(self):
+        self.control.on()
+        return ["open"]
+
+
+@sys(["a"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        self.a.open()
+        return []
+        self.a.open()

@@ -1,0 +1,24 @@
+# SY106 positive: 'b' holds a modeled Valve and is called, but is missing
+# from @sys(["a"]) — its calls silently escape verification.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial_final
+    def open(self):
+        self.control.on()
+        return ["open"]
+
+
+@sys(["a"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        self.a.open()
+        self.b.open()
+        return []

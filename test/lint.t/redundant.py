@@ -1,0 +1,24 @@
+# SY104 positive: the two claims are identical, so each is implied by the
+# usage language together with the other.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial_final
+    def open(self):
+        self.control.on()
+        return ["open"]
+
+
+@claim("F a.open")
+@claim("F a.open")
+@sys(["a"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        self.a.open()
+        return []

@@ -1,0 +1,251 @@
+Static-analysis golden tests: every rule code gets a positive case here,
+and clean.py — a correct composite driven through its full protocol — is
+the shared negative: none of the rules fire on it.
+
+  $ shelley lint clean.py
+  no findings in 1 file
+
+The structural rules (SY001–SY007) are the same seven checks 'shelley
+check' reports, now with stable codes. One class per defect:
+
+  $ shelley lint structural.py
+  structural.py:13: error SY001 [Duplicate]: duplicate operation name 'go'
+  structural.py:18: error SY002 [NoInitial]: no operation is annotated @op_initial (or @op_initial_final): the class can never be used
+  structural.py:23: warning SY006 [NoInitial]: operation 'stop' is unreachable from every initial operation
+  structural.py:28: error SY003 [NoFinal]: no operation is annotated @op_final (or @op_initial_final): no usage of the class can ever terminate
+  structural.py:33: warning SY007 [NoFinal]: no final operation is reachable after 'start': objects get stuck there
+  structural.py:44: error SY004 [UnknownNext]: operation 'go' returns unknown operation 'missing' (declared operations: go)
+  structural.py:53: warning SY007 [TerminalNotFinal]: no final operation is reachable after 'go': objects get stuck there
+  structural.py:53: warning SY101 [TerminalNotFinal]: operation 'go' occurs in no accepted usage of TerminalNotFinal: no caller can legally exercise it
+  structural.py:54: error SY005 [TerminalNotFinal]: operation 'go' has a terminal exit (returns []) but is not @op_final: callers reaching it can neither continue nor stop
+  structural.py:57: warning SY006 [TerminalNotFinal]: operation 'stop' is unreachable from every initial operation
+  structural.py:57: warning SY101 [TerminalNotFinal]: operation 'stop' occurs in no accepted usage of TerminalNotFinal: no caller can legally exercise it
+  structural.py:67: warning SY007 [FinalUnreachable]: no final operation is reachable after 'spin': objects get stuck there
+  structural.py:67: warning SY101 [FinalUnreachable]: operation 'spin' occurs in no accepted usage of FinalUnreachable: no caller can legally exercise it
+  structural.py:71: warning SY006 [FinalUnreachable]: operation 'stop' is unreachable from every initial operation
+  structural.py:71: warning SY101 [FinalUnreachable]: operation 'stop' occurs in no accepted usage of FinalUnreachable: no caller can legally exercise it
+  15 findings (5 errors, 10 warnings) in 1 file
+  [1]
+
+Dead operation (SY101): no accepted usage word contains 'drain', so no
+caller can ever legally exercise it (the graph-level SY006 agrees):
+
+  $ shelley lint dead_op.py
+  dead_op.py:14: warning SY006 [Tank]: operation 'drain' is unreachable from every initial operation
+  dead_op.py:14: warning SY101 [Tank]: operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it
+  2 findings (2 warnings) in 1 file
+
+A claim over a class that performs no subsystem calls, and a tautology,
+are both vacuous (SY102):
+
+  $ shelley lint vacuous.py
+  vacuous.py:16: warning SY102 [Controller]: claim 'F a.blink' is vacuous: Controller performs no subsystem calls, so the claim is checked only against the empty trace
+  vacuous.py:29: warning SY102 [Panel]: claim 'a.blink || !a.blink' is vacuous: it holds over every trace (a tautology over the class's events)
+  2 findings (2 warnings) in 1 file
+
+An unsatisfiable claim (SY103) can only ever fail, so it is an error:
+
+  $ shelley lint unsat.py
+  unsat.py:16: error SY103 [Rig]: claim 'F (a.open && a.close)' is unsatisfiable: no trace at all can satisfy it, so verification can only fail
+  1 finding (1 error) in 1 file
+  [1]
+
+Mutually redundant claims (SY104):
+
+  $ shelley lint redundant.py
+  redundant.py:17: info SY104 [Rig]: claim 'F a.open' is redundant: the usage language and the remaining claims already imply it
+  redundant.py:17: info SY104 [Rig]: claim 'F a.open' is redundant: the usage language and the remaining claims already imply it
+  2 findings (2 infos) in 1 file
+
+A subsystem declared but never driven (SY105), and a call on a modeled
+field that escapes the @sys declaration (SY106):
+
+  $ shelley lint unused_sub.py
+  unused_sub.py:14: warning SY105 [Rig]: declared subsystem 'b' is never called by any operation of Rig
+  1 finding (1 warning) in 1 file
+
+  $ shelley lint escaping.py
+  escaping.py:23: warning SY106 [Rig]: call 'b.open' escapes verification: field 'b' holds modeled class Valve but is not declared in @sys([...])
+  1 finding (1 warning) in 1 file
+
+Calls after an unconditional return can never execute (SY107):
+
+  $ shelley lint deadcode.py
+  deadcode.py:20: warning SY107 [Rig]: operation 'cycle' performs calls after a point where every path has returned: they can never execute
+  1 finding (1 warning) in 1 file
+
+Behavior blowup (SY108) is relative to the configured thresholds — the
+nested loop is fine by default and flagged when the star-height budget is
+lowered:
+
+  $ shelley lint blowup.py
+  no findings in 1 file
+
+  $ shelley lint --max-star-height 1 blowup.py
+  blowup.py:26: info SY108 [Rig]: behavior of 'cycle' nests 2 loops (star-height threshold 1): downstream automaton constructions may blow up
+  1 finding (1 info) in 1 file
+
+Suppressions: a standalone '# shelley: disable=…' comment governs the next
+line, an end-of-line one its own line; silenced findings are counted, and
+an unknown code in a suppression is itself a finding (SY012):
+
+  $ shelley lint suppress.py
+  suppress.py:21: warning SY006 [Tank]: operation 'spare' is unreachable from every initial operation
+  suppress.py:21: warning SY012: suppression comment names unknown rule code 'SY999'
+  suppress.py:21: warning SY101 [Tank]: operation 'spare' occurs in no accepted usage of Tank: no caller can legally exercise it
+  3 findings (3 warnings) in 1 file, 2 suppressed
+
+Multiple files are reported in input order, whatever the -j level:
+
+  $ shelley lint dead_op.py clean.py unsat.py
+  dead_op.py:14: warning SY006 [Tank]: operation 'drain' is unreachable from every initial operation
+  dead_op.py:14: warning SY101 [Tank]: operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it
+  unsat.py:16: error SY103 [Rig]: claim 'F (a.open && a.close)' is unsatisfiable: no trace at all can satisfy it, so verification can only fail
+  3 findings (1 error, 2 warnings) in 3 files
+  [1]
+
+  $ shelley lint -j 3 dead_op.py clean.py unsat.py
+  dead_op.py:14: warning SY006 [Tank]: operation 'drain' is unreachable from every initial operation
+  dead_op.py:14: warning SY101 [Tank]: operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it
+  unsat.py:16: error SY103 [Rig]: claim 'F (a.open && a.close)' is unsatisfiable: no trace at all can satisfy it, so verification can only fail
+  3 findings (1 error, 2 warnings) in 3 files
+  [1]
+
+A file that cannot be parsed is SY010 and exit 2; one that cannot be read
+is SY011 and exit 2:
+
+  $ shelley lint broken.py
+  broken.py:3: error SY010: syntax error (col 12): expected ':' but found end of line
+  1 finding (1 error) in 1 file
+  [2]
+
+  $ shelley lint no_such_file.py
+  no_such_file.py: error SY011: cannot read file: no_such_file.py: No such file or directory
+  1 finding (1 error) in 1 file
+  [2]
+
+A semantic rule that exhausts its fuel budget reports SY090 for the
+affected class and rule (exit 3) while every other rule and file still
+runs — dead_op.py's small automata fit in the same budget that clean.py's
+composite blows:
+
+  $ shelley lint --max-states 2 clean.py dead_op.py
+  clean.py: error SY090 [Valve]: lint rule SY101 (dead-operation) exceeded its budget: determinization states (limit 2)
+  clean.py: error SY090 [Sector]: lint rule SY101 (dead-operation) exceeded its budget: determinization states (limit 2)
+  clean.py: error SY090 [Sector]: lint rule SY102 (vacuous-claim) exceeded its budget: progression obligations (limit 2)
+  clean.py: error SY090 [Sector]: lint rule SY103 (unsatisfiable-claim) exceeded its budget: tableau states (limit 2)
+  dead_op.py:14: warning SY006 [Tank]: operation 'drain' is unreachable from every initial operation
+  dead_op.py:14: warning SY101 [Tank]: operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it
+  6 findings (4 errors, 2 warnings) in 2 files
+  [3]
+
+The JSON envelope carries findings and suppressions per file plus a
+summary:
+
+  $ shelley lint --format json suppress.py | sed -n '1,3p;33,60p'
+  {
+    "format": "shelley.lint/1",
+    "files": [
+            "rule": "SY006",
+            "name": "unreachable-operation",
+            "severity": "warning",
+            "line": 16,
+            "class": "Tank",
+            "message": "operation 'drain' is unreachable from every initial operation"
+          },
+          {
+            "rule": "SY101",
+            "name": "dead-operation",
+            "severity": "warning",
+            "line": 16,
+            "class": "Tank",
+            "message": "operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it"
+          }
+        ]
+      }
+    ],
+    "summary": {
+      "files": 1,
+      "findings": 3,
+      "errors": 0,
+      "warnings": 3,
+      "infos": 0,
+      "suppressed": 2
+    }
+  }
+
+SARIF 2.1.0 output: the full rule registry under tool.driver.rules, one
+result per finding with level and physical location, suppressed findings
+marked inSource rather than dropped:
+
+  $ shelley lint --format sarif suppress.py | grep -E '"(version|ruleId|level|startLine|uri|kind)":' | sed 's/,$//'
+    "version": "2.1.0"
+                  "level": "error"
+                  "level": "error"
+                  "level": "error"
+                  "level": "error"
+                  "level": "error"
+                  "level": "warning"
+                  "level": "warning"
+                  "level": "error"
+                  "level": "error"
+                  "level": "warning"
+                  "level": "error"
+                  "level": "error"
+                  "level": "error"
+                  "level": "warning"
+                  "level": "warning"
+                  "level": "error"
+                  "level": "note"
+                  "level": "warning"
+                  "level": "warning"
+                  "level": "warning"
+                  "level": "note"
+            "ruleId": "SY006"
+            "level": "warning"
+                    "uri": "suppress.py"
+                    "startLine": 21
+            "ruleId": "SY012"
+            "level": "warning"
+                    "uri": "suppress.py"
+                    "startLine": 21
+            "ruleId": "SY101"
+            "level": "warning"
+                    "uri": "suppress.py"
+                    "startLine": 21
+            "ruleId": "SY006"
+            "level": "warning"
+                    "uri": "suppress.py"
+                    "startLine": 16
+                "kind": "inSource"
+            "ruleId": "SY101"
+            "level": "warning"
+                    "uri": "suppress.py"
+                    "startLine": 16
+                "kind": "inSource"
+
+  $ shelley lint --format yaml clean.py
+  unknown lint format 'yaml' (expected text, json or sarif)
+  [2]
+
+'check --lint' appends only the semantic findings to the classic report
+blocks — with the flag off the output is untouched:
+
+  $ shelley check dead_op.py
+  OK: specification verified
+
+  $ shelley check --lint dead_op.py
+  == dead_op.py ==
+  dead_op.py:14: warning SY101 [Tank]: operation 'drain' occurs in no accepted usage of Tank: no caller can legally exercise it
+  
+  OK: specification verified
+
+  $ shelley check --lint unsat.py
+  == unsat.py ==
+  Error in specification: FAIL TO MEET REQUIREMENT
+  Formula: F (a.open && a.close)
+  Counter example: 
+  
+  unsat.py:16: error SY103 [Rig]: claim 'F (a.open && a.close)' is unsatisfiable: no trace at all can satisfy it, so verification can only fail
+  
+  [1]

@@ -1,0 +1,72 @@
+# One class per structural defect: SY001-SY005 and SY007 positives
+# (SY006 is exercised by dead_op.py and suppress.py).
+@sys
+class Duplicate:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial_final
+    def go(self):
+        return []
+
+    @op_final
+    def go(self):
+        return []
+
+
+@sys
+class NoInitial:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_final
+    def stop(self):
+        return []
+
+
+@sys
+class NoFinal:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial
+    def start(self):
+        return ["start"]
+
+
+@sys
+class UnknownNext:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial_final
+    def go(self):
+        return ["missing"]
+
+
+@sys
+class TerminalNotFinal:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial
+    def go(self):
+        return []
+
+    @op_final
+    def stop(self):
+        return ["go"]
+
+
+@sys
+class FinalUnreachable:
+    def __init__(self):
+        self.pin = Pin(1, OUT)
+
+    @op_initial
+    def spin(self):
+        return ["spin"]
+
+    @op_final
+    def stop(self):
+        return ["spin"]

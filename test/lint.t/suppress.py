@@ -1,0 +1,23 @@
+# Suppression demo: the standalone comment silences the SY006/SY101 pair on
+# the unreachable 'drain'; 'spare' is equally unreachable but its trailing
+# comment names an unknown code, so SY012 fires and its findings stay live.
+@sys
+class Tank:
+    def __init__(self):
+        self.pump = Pin(1, OUT)
+
+    @op_initial_final
+    def fill(self):
+        self.pump.on()
+        return ["fill"]
+
+    @op_final
+    # shelley: disable=SY006,SY101
+    def drain(self):
+        self.pump.off()
+        return []
+
+    @op_final
+    def spare(self):  # shelley: disable=SY999
+        self.pump.off()
+        return []

@@ -1,0 +1,23 @@
+# SY103 positive: one trace step is one event, so a.open and a.close can
+# never hold at the same instant -- no trace at all satisfies the claim.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial_final
+    def open(self):
+        self.control.on()
+        return ["open"]
+
+
+@claim("F (a.open && a.close)")
+@sys(["a"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        self.a.open()
+        return []

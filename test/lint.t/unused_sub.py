@@ -1,0 +1,22 @@
+# SY105 positive: 'b' is declared in @sys but no operation ever calls it.
+@sys
+class Valve:
+    def __init__(self):
+        self.control = Pin(27, OUT)
+
+    @op_initial_final
+    def open(self):
+        self.control.on()
+        return ["open"]
+
+
+@sys(["a", "b"])
+class Rig:
+    def __init__(self):
+        self.a = Valve()
+        self.b = Valve()
+
+    @op_initial_final
+    def cycle(self):
+        self.a.open()
+        return []

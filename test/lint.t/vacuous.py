@@ -1,0 +1,36 @@
+# SY102 positive: the class performs no subsystem calls at all, so its
+# claim is only ever checked against the empty trace.
+@sys
+class Led:
+    def __init__(self):
+        self.pin = Pin(2, OUT)
+
+    @op_initial_final
+    def blink(self):
+        self.pin.on()
+        return []
+
+
+@claim("F a.blink")
+@sys
+class Controller:
+    def __init__(self):
+        self.mode = 0
+
+    @op_initial_final
+    def run(self):
+        return []
+
+
+# SY102's other face: the class does call its subsystem, but the claim holds
+# over every trace whatsoever (a tautology), so it constrains nothing.
+@claim("a.blink || !a.blink")
+@sys(["a"])
+class Panel:
+    def __init__(self):
+        self.a = Led()
+
+    @op_initial_final
+    def flash(self):
+        self.a.blink()
+        return []
