@@ -98,6 +98,30 @@ let flush_observability ~stats ~metrics_out ~trace_out =
   Option.iter (fun path -> write_file path (Obs.render_chrome_trace ())) trace_out;
   if stats then Obs.render_stats Format.err_formatter
 
+(* Shared --cache argument: check and lint both accept a persistent result
+   cache directory. An unusable directory degrades to an uncached run with a
+   warning on stderr — caching is an optimization, never a precondition. *)
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"DIR"
+        ~doc:
+          "Reuse per-file results from the content-addressed cache in \
+           $(docv) (created if missing). A file whose source, budgets and \
+           configuration are unchanged replays its stored result instead of \
+           being re-verified; any corrupted or stale entry is recomputed. \
+           See 'shelley cache' for stats/gc/clear.")
+
+let open_cache = function
+  | None -> None
+  | Some dir -> (
+    match Cache.open_dir dir with
+    | Ok c -> Some c
+    | Error msg ->
+      Printf.eprintf "warning: %s; continuing without a result cache\n%!" msg;
+      None)
+
 (* --- check ----------------------------------------------------------------- *)
 
 let check_cmd =
@@ -183,7 +207,7 @@ let check_cmd =
              output.")
   in
   let run files warnings explain lint using max_states fuel jobs timeout fault_injection
-      stats metrics_out trace_out =
+      cache_dir stats metrics_out trace_out =
     Checker.fault_injection := fault_injection;
     let extra_env =
       match Model_io.env_of_files using with
@@ -191,6 +215,19 @@ let check_cmd =
       | Error msg ->
         prerr_endline msg;
         exit 2
+    in
+    let cache = open_cache cache_dir in
+    (* The --using models shape verdicts, so their contents are key
+       material: a re-exported substrate model invalidates every entry that
+       was checked against the old one. env_of_files just read these files
+       successfully; a racing deletion still only disables caching. *)
+    let cache_extra =
+      List.filter_map
+        (fun path ->
+          match Digest.file path with
+          | d -> Some (Digest.to_hex d)
+          | exception Sys_error _ -> None)
+        using
     in
     let limits =
       let d = Limits.default in
@@ -210,7 +247,8 @@ let check_cmd =
        with the maximum. Checker renders per-file blocks in the workers and
        replays them here in input order. *)
     let verdicts =
-      Checker.check_files ~jobs ~limits ~warnings ~explain ~lint ~extra_env files
+      Checker.check_files ~jobs ~limits ~warnings ~explain ~lint ~extra_env ?cache
+        ~cache_extra files
     in
     List.iter (fun (v : Checker.verdict) -> print_string v.Checker.output) verdicts;
     if observe then flush_observability ~stats ~metrics_out ~trace_out;
@@ -231,7 +269,8 @@ let check_cmd =
          ])
     Term.(
       const run $ files $ warnings $ explain $ lint $ using $ max_states $ fuel $ jobs
-      $ timeout $ fault_injection $ stats_arg $ metrics_out_arg $ trace_out_arg)
+      $ timeout $ fault_injection $ cache_arg $ stats_arg $ metrics_out_arg
+      $ trace_out_arg)
 
 (* --- lint ------------------------------------------------------------------ *)
 
@@ -303,7 +342,7 @@ let lint_cmd =
                 loops deeper than N.")
   in
   let run files format jobs max_states fuel timeout max_behavior_size max_star_height
-      stats metrics_out trace_out =
+      cache_dir stats metrics_out trace_out =
     let format =
       match Lint_render.format_of_string format with
       | Ok f -> f
@@ -323,7 +362,8 @@ let lint_cmd =
     in
     let observe = stats || metrics_out <> None || trace_out <> None in
     if observe then Obs.enable ();
-    let results = Checker.lint_files ~jobs ~limits ~thresholds files in
+    let cache = open_cache cache_dir in
+    let results = Checker.lint_files ~jobs ~limits ~thresholds ?cache files in
     print_string (Lint_render.render format results);
     if observe then flush_observability ~stats ~metrics_out ~trace_out;
     let code = Lint.exit_code results in
@@ -352,8 +392,8 @@ let lint_cmd =
          ])
     Term.(
       const run $ files $ format $ jobs $ max_states $ fuel $ timeout
-      $ max_behavior_size $ max_star_height $ stats_arg $ metrics_out_arg
-      $ trace_out_arg)
+      $ max_behavior_size $ max_star_height $ cache_arg $ stats_arg
+      $ metrics_out_arg $ trace_out_arg)
 
 (* --- model ----------------------------------------------------------------- *)
 
@@ -813,14 +853,103 @@ let export_cmd =
           verification with 'check --using').")
     Term.(const run $ file $ class_arg $ out_dir)
 
+(* --- cache ----------------------------------------------------------------- *)
+
+let cache_cmd =
+  (* Maintenance acts on an existing cache: silently creating DIR here would
+     turn a typo into an empty-looking cache, so a missing directory is an
+     error — unlike 'check --cache', which creates its directory because a
+     first (cold) run is the normal way a cache comes into being. *)
+  let dir_pos =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"The cache directory (as passed to --cache).")
+  in
+  let open_existing dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+      Printf.eprintf "error: no cache directory at %s\n%!" dir;
+      exit 2
+    end;
+    match Cache.open_dir dir with
+    | Ok c -> c
+    | Error msg ->
+      Printf.eprintf "error: %s\n%!" msg;
+      exit 2
+  in
+  let stats_cmd =
+    let json =
+      Arg.(
+        value & flag
+        & info [ "json" ]
+            ~doc:
+              "Emit the shelley.cache-stats/1 JSON object instead of the \
+               human-readable table.")
+    in
+    let run dir json =
+      let c = open_existing dir in
+      let s = Cache.stats c in
+      if json then print_string (Cache.stats_json s)
+      else begin
+        Printf.printf "cache directory: %s\n" (Cache.dir c);
+        Printf.printf "live entries:    %d (%d bytes)\n" s.Cache.live_entries
+          s.Cache.live_bytes;
+        Printf.printf "stale entries:   %d\n" s.Cache.stale_entries;
+        Printf.printf "corrupt entries: %d\n" s.Cache.corrupt_entries;
+        Printf.printf "temp files:      %d\n" s.Cache.tmp_files
+      end
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Scan the cache and classify every file: live entries, entries \
+            written by another format version, corrupt entries, abandoned \
+            temp files. Read-only.")
+      Term.(const run $ dir_pos $ json)
+  in
+  let gc_cmd =
+    let run dir =
+      let c = open_existing dir in
+      let r = Cache.gc c in
+      Printf.printf "removed %d stale, %d corrupt, %d temp; kept %d live\n"
+        r.Cache.gc_removed_stale r.Cache.gc_removed_corrupt r.Cache.gc_removed_tmp
+        r.Cache.gc_kept
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:
+           "Sweep everything a lookup would refuse to use — stale-version \
+            entries, corrupt entries, abandoned temp files — and keep live \
+            entries.")
+      Term.(const run $ dir_pos)
+  in
+  let clear_cmd =
+    let run dir =
+      let c = open_existing dir in
+      let n = Cache.clear c in
+      Printf.printf "removed %d file%s\n" n (if n = 1 then "" else "s")
+    in
+    Cmd.v
+      (Cmd.info "clear"
+         ~doc:"Remove every entry and temp file. The directory itself is kept.")
+      Term.(const run $ dir_pos)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Inspect and maintain a result cache directory (see 'shelley check \
+          --cache').")
+    [ stats_cmd; gc_cmd; clear_cmd ]
+
 let main_cmd =
   let doc = "Shelley-style model inference and checking for MicroPython (DSN-W 2023)." in
   Cmd.group
-    (Cmd.info "shelley" ~version:"1.0.0" ~doc)
+    (Cmd.info "shelley" ~version:Cache.tool_version ~doc)
     [
       export_cmd;
       check_cmd;
       lint_cmd;
+      cache_cmd;
       model_cmd;
       viz_cmd;
       nusmv_cmd;

@@ -1,0 +1,100 @@
+(** A persistent, content-addressed result cache.
+
+    The cache is a directory of immutable blob entries, one per key, where a
+    key is the hex digest of everything the cached computation depends on
+    (source bytes, budgets, rule configuration, tool version — composed by
+    the caller with {!key}). Because keys are content-addressed there is no
+    invalidation protocol: a changed input composes a different key, and the
+    old entry simply stops being referenced until {!gc} sweeps it.
+
+    Trust model: the cache is an {e untrusted} optimization. Every failure
+    mode on the read path — a missing entry, a truncated file, a
+    wrong-format-version header, a payload whose checksum does not match, an
+    undecodable marshal blob — classifies as a miss and the caller
+    recomputes; {!find} never raises and never returns a value whose bytes
+    were not exactly the bytes {!store} wrote (a checksum guards the marshal
+    payload, so [Marshal.from_string] only ever sees bit-exact input). The
+    write path is atomic (temp file + [rename] in the same directory), so
+    concurrent writers — the worker processes of [shelley check -j N] —
+    can race on one key and readers still see either nothing or a complete
+    entry. A store that fails (read-only directory, full disk) is counted
+    and dropped; it never aborts the computation that produced the value.
+
+    Observability: lookups tally [cache.hits] / [cache.misses] /
+    [cache.stale_evictions] / [cache.corrupt_entries] / [cache.bytes_read]
+    as {e stable} recorder counters ({!Obs.count_stable} — deterministic for
+    a given corpus, so they may appear in the [--stats] table), and stores
+    tally [cache.bytes_written] / [cache.store_failures] with plain
+    {!Obs.count} so a store performed inside a worker's unit lands in that
+    unit's marshal-safe profile. *)
+
+type t
+
+val tool_version : string
+(** The shelley release this build writes entries for (also the CLI
+    [--version]). Callers include it in every {!key}, so upgrading the tool
+    orphans old entries instead of replaying them. *)
+
+val format_version : int
+(** Version of the on-disk entry layout. An entry whose header names a
+    different format version is {e stale}: {!find} evicts it (unlinks the
+    file, counts [cache.stale_evictions]) and reports a miss. *)
+
+val open_dir : string -> (t, string) result
+(** Open (creating if needed, including one missing parent) a cache rooted
+    at the given directory. [Error] when the path exists but is not a
+    directory or cannot be created — callers are expected to degrade to
+    uncached operation, not abort. *)
+
+val dir : t -> string
+
+val key : string list -> string
+(** Compose a cache key from its parts: a hex digest over the
+    length-prefixed concatenation (so part boundaries cannot be forged by
+    concatenation). Callers pass every input the cached computation depends
+    on; see {!Checker.check_cache_key} for the composition the CLI uses. *)
+
+val find : t -> string -> 'a option
+(** Look up a key. [None] on a missing, truncated, stale, checksum-failed or
+    undecodable entry (each classified and counted separately). Type safety
+    is the caller's bargain, as with [Marshal]: compose keys so that one key
+    can only ever name one payload type (the [Checker] wraps payloads in a
+    single variant and treats an unexpected constructor as a miss). Never
+    raises. *)
+
+val store : t -> string -> 'a -> unit
+(** Write an entry atomically (temp + rename). Failures are counted under
+    [cache.store_failures] and swallowed: a cache that cannot be written is
+    a slow cache, not a broken run. Values must be marshal-safe (no
+    closures, no custom blocks, no interned symbols). Never raises. *)
+
+(** {1 Maintenance} *)
+
+type stats = {
+  live_entries : int;  (** readable entries in the current format version *)
+  live_bytes : int;  (** their total on-disk size *)
+  stale_entries : int;  (** entries written by another format version *)
+  corrupt_entries : int;  (** unreadable / truncated / checksum-failed *)
+  tmp_files : int;  (** abandoned temp files from interrupted writers *)
+}
+
+val stats : t -> stats
+(** Scan the cache directory and classify every file. Read-only. *)
+
+val stats_json : stats -> string
+(** The stats as JSON, schema ["shelley.cache-stats/1"]. *)
+
+type gc_result = {
+  gc_removed_stale : int;
+  gc_removed_corrupt : int;
+  gc_removed_tmp : int;
+  gc_kept : int;
+}
+
+val gc : t -> gc_result
+(** Sweep everything {!find} would refuse to use: stale-version entries,
+    corrupt entries, abandoned temp files. Live entries are kept. *)
+
+val clear : t -> int
+(** Remove every entry and temp file; returns how many files were removed.
+    The directory itself is kept. *)

@@ -3,6 +3,12 @@ type result = {
   reports : Report.t list;
 }
 
+(* Bumped whenever the meaning or wording of a verification result changes
+   (new checks, reworded reports, different exit-code mapping). The result
+   cache folds this into every key, so entries written by an older pipeline
+   can never replay as current verdicts. *)
+let semantics_version = "5"
+
 let env_of result name =
   List.find_opt (fun (m : Model.t) -> String.equal m.Model.name name) result.models
 

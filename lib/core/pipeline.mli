@@ -17,6 +17,13 @@ type result = {
   reports : Report.t list;
 }
 
+val semantics_version : string
+(** Version tag of the verification {e semantics}: what the pipeline checks
+    and how it words its reports. Content-addressed cache keys
+    ({!Checker.check_cache_key}) include it, so bump it in the same change
+    that alters any report text, adds a check, or changes the exit-code
+    mapping — stale cached verdicts then miss instead of replaying. *)
+
 val verify_program : ?extra_env:Usage.env -> ?limits:Limits.t -> Mpy_ast.program -> result
 (** [extra_env] resolves class names not defined in the program itself —
     typically models loaded from [.shelley] files ({!Model_io.env_of_files})

@@ -131,3 +131,18 @@ let pp fmt r =
     | Report.Error -> "error"
     | Report.Warning -> "warning"
     | Report.Info -> "info")
+
+(* The registry fingerprint content-addresses the rule set itself: adding a
+   rule, renaming a slug or changing a default severity changes the digest,
+   which the lint result cache folds into its keys — so lint entries written
+   under an older registry miss instead of replaying incomplete findings. *)
+let fingerprint =
+  let sev = function
+    | Report.Error -> "error"
+    | Report.Warning -> "warning"
+    | Report.Info -> "info"
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat ";"
+          (List.map (fun r -> String.concat ":" [ r.code; r.name; sev r.severity ]) all)))

@@ -80,3 +80,9 @@ val find_code : string -> t option
 
 val pp : Format.formatter -> t -> unit
 (** ["SY104 redundant-claim (info)"]. *)
+
+val fingerprint : string
+(** Hex digest over every registered rule's (code, slug, default severity):
+    a content address for the rule set. The lint result cache includes it in
+    its keys, so growing or retuning the registry invalidates cached lint
+    results without any explicit versioning step. *)

@@ -49,6 +49,72 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* --- Result caching ---------------------------------------------------------
+
+   One cache entry = one fully rendered per-file result, wrapped in a variant
+   so a key that somehow named the wrong mode's entry decodes to a visibly
+   wrong constructor (treated as a miss) instead of a type confusion. Both
+   constructors are marshal-safe by construction — the same property that
+   lets them cross the worker pipe lets them live on disk. *)
+type cache_payload =
+  | Cached_check of {
+      output : string;
+      code : int;
+    }
+  | Cached_lint of Lint.file_result
+
+let limits_key_parts (l : Limits.t) =
+  (* The wall-clock deadline is deliberately absent: it can prevent a
+     verdict (and timed-out units are never stored), but it cannot change
+     one, so results computed with and without --timeout share entries. *)
+  [
+    Printf.sprintf "max_states=%d" l.Limits.max_states;
+    Printf.sprintf "max_configs=%d" l.Limits.max_configs;
+    Printf.sprintf "max_regex_size=%d" l.Limits.max_regex_size;
+  ]
+
+(* The path is key material, not just the content: rendered blocks and lint
+   findings embed it ("== path ==", "path:line:"), so two files with equal
+   bytes at different paths must not share an entry — the second would
+   replay the first one's header. A renamed file recomputes once; that is
+   the cheap side of the trade. *)
+let check_cache_key ?(limits = Limits.default) ?(warnings = false) ?(explain = false)
+    ?(lint = false) ?(extra = []) ~path source =
+  Cache.key
+    ([
+       "mode=check/1";
+       "tool=" ^ Cache.tool_version;
+       "semantics=" ^ Pipeline.semantics_version;
+       "path=" ^ path;
+       "src=" ^ Digest.to_hex (Digest.string source);
+     ]
+    @ limits_key_parts limits
+    @ [
+        Printf.sprintf "warnings=%b" warnings;
+        Printf.sprintf "explain=%b" explain;
+        Printf.sprintf "lint=%b" lint;
+      ]
+    @ (if lint then [ "rules=" ^ Rules.fingerprint ] else [])
+    @ List.map (fun e -> "extra=" ^ e) extra)
+
+let lint_cache_key ?(limits = Limits.default)
+    ?(thresholds = Lint_semantic.default_thresholds) ?(extra = []) ~path source =
+  Cache.key
+    ([
+       "mode=lint/1";
+       "tool=" ^ Cache.tool_version;
+       "semantics=" ^ Pipeline.semantics_version;
+       "rules=" ^ Rules.fingerprint;
+       "path=" ^ path;
+       "src=" ^ Digest.to_hex (Digest.string source);
+     ]
+    @ limits_key_parts limits
+    @ [
+        Printf.sprintf "max_behavior_size=%d" thresholds.Lint_semantic.max_behavior_size;
+        Printf.sprintf "max_star_height=%d" thresholds.Lint_semantic.max_star_height;
+      ]
+    @ List.map (fun e -> "extra=" ^ e) extra)
+
 (* [check --lint] appends only what plain [check] does not already say:
    the structural checks (SY001–SY007), syntax errors (SY010/SY011) and
    extraction diagnostics (SY020) are printed by the pipeline as reports,
@@ -123,57 +189,144 @@ let check_file_raw ?(limits = Limits.default) ?(warnings = false) ?(explain = fa
 
 (* The whole file runs inside one [Obs] unit, so its span tree and counters
    come back as one marshal-safe profile (strings and ints only) — identical
-   in shape whether this executes in-process or inside a forked worker. *)
-let check_file ?limits ?warnings ?explain ?lint ?extra_env path =
+   in shape whether this executes in-process or inside a forked worker.
+   [after] runs inside the unit too: the cache store performed there (and
+   its cache.bytes_written counter) lands in the unit's profile, so it
+   crosses the worker pipe with everything else. *)
+let check_file_with ?limits ?warnings ?explain ?lint ?extra_env ~after path =
   let (output, code), profile =
     Obs.in_unit ~name:path (fun () ->
-        check_file_raw ?limits ?warnings ?explain ?lint ?extra_env path)
+        let output, code =
+          check_file_raw ?limits ?warnings ?explain ?lint ?extra_env path
+        in
+        after output code;
+        (output, code))
   in
   { path; output; code; profile }
+
+let check_file ?limits ?warnings ?explain ?lint ?extra_env path =
+  check_file_with ?limits ?warnings ?explain ?lint ?extra_env
+    ~after:(fun _ _ -> ())
+    path
 
 let fault_block path report =
   Format.asprintf "== %s ==@.%a@.@." path Report.pp report
 
-let check_files ?(jobs = 1) ?(limits = Limits.default) ?warnings ?explain ?lint
-    ?extra_env paths =
+(* Replay the pool's outcomes over the annotated input list: hits keep their
+   cached verdict, misses consume the next outcome — strictly in input
+   order, so the aggregate output is byte-identical whatever mix of hits,
+   misses and jobs levels produced it. *)
+let merge_outcomes ~of_outcome annotated outcomes =
+  let rec go annotated outcomes =
+    match annotated with
+    | [] -> []
+    | (_, Some hit, _) :: rest -> hit :: go rest outcomes
+    | (path, None, _) :: rest -> (
+      match outcomes with
+      | [] ->
+        (* Runner returns exactly one outcome per submitted task. *)
+        invalid_arg "Checker.merge_outcomes: outcome list too short"
+      | (outcome, lane) :: more -> of_outcome path outcome lane :: go rest more)
+  in
+  go annotated outcomes
+
+(* Annotate each path with its cache fate before any forking: [Some verdict]
+   for a hit, otherwise the key the worker should store its result under
+   (and [None] keys for unreadable files and uncached runs). Lookups happen
+   in the orchestrator so hit entries are read once, not once per worker. *)
+let annotate ~cache ~key_of ~hit_of paths =
+  List.map
+    (fun path ->
+      match cache with
+      | None -> (path, None, None)
+      | Some c -> (
+        match read_file path with
+        | exception Sys_error _ -> (path, None, None)
+        | source -> (
+          let key = key_of ~path source in
+          match (Cache.find c key : cache_payload option) with
+          | Some payload -> (
+            match hit_of path payload with
+            | Some hit -> (path, Some hit, Some key)
+            | None ->
+              (* The key named an entry of the wrong mode: only possible if
+                 key composition is broken, so refuse the value and
+                 recompute. *)
+              (path, None, Some key))
+          | None -> (path, None, Some key))))
+    paths
+
+let check_files ?(jobs = 1) ?(limits = Limits.default) ?(warnings = false)
+    ?(explain = false) ?(lint = false) ?(extra_env = fun _ -> None) ?cache
+    ?(cache_extra = []) paths =
+  let annotated =
+    annotate ~cache
+      ~key_of:(check_cache_key ~limits ~warnings ~explain ~lint ~extra:cache_extra)
+      ~hit_of:(fun path payload ->
+        match payload with
+        | Cached_check { output; code } -> Some { path; output; code; profile = None }
+        | Cached_lint _ -> None)
+      paths
+  in
+  let misses =
+    List.filter_map
+      (fun (path, hit, key) ->
+        match hit with
+        | Some _ -> None
+        | None -> Some (path, key))
+      annotated
+  in
   (* Workers send back (output, code, profile) only: plain marshal-safe
      data. The verdict's [path] is re-attached from the input list, which
      also keeps aggregation in input order. *)
-  let payload limits path =
-    let v = check_file ~limits ?warnings ?explain ?lint ?extra_env path in
+  let payload (path, key) =
+    let after output code =
+      match (cache, key) with
+      | Some c, Some k -> Cache.store c k (Cached_check { output; code })
+      | _ -> ()
+    in
+    let v = check_file_with ~limits ~warnings ~explain ~lint ~extra_env ~after path in
+    (v.output, v.code, v.profile)
+  in
+  let retry_payload (path, _key) =
+    (* The reduced-budget retry answers a smaller-fuel question than the key
+       was composed for, so its result is never stored. *)
+    let v =
+      check_file ~limits:(Limits.reduced limits) ~warnings ~explain ~lint ~extra_env
+        path
+    in
     (v.output, v.code, v.profile)
   in
   let outcomes =
-    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline
-      ~retry:(payload (Limits.reduced limits))
-      ~f:(payload limits) paths
+    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline ~retry:retry_payload
+      ~f:payload misses
   in
-  List.map2
-    (fun path (outcome, lane) ->
-      match outcome with
-      | Runner.Done (output, code, profile) ->
-        (* Merge the worker's profile into the parent recorder under its pool
-           lane; the sinks then see one timeline row per worker. *)
-        Option.iter (Obs.add_unit ~lane) profile;
-        { path; output; code; profile }
-      | Runner.Timed_out { seconds; attempts } ->
-        Obs.count "checker.timeout_units" 1;
-        {
-          path;
-          output = fault_block path (Report.Timeout { unit_name = path; seconds; attempts });
-          code = 3;
-          profile = None;
-        }
-      | Runner.Crashed { reason; attempts } ->
-        Obs.count "checker.crashed_units" 1;
-        {
-          path;
-          output =
-            fault_block path (Report.Worker_crashed { unit_name = path; reason; attempts });
-          code = 3;
-          profile = None;
-        })
-    paths outcomes
+  let of_outcome path outcome lane =
+    match outcome with
+    | Runner.Done (output, code, profile) ->
+      (* Merge the worker's profile into the parent recorder under its pool
+         lane; the sinks then see one timeline row per worker. *)
+      Option.iter (Obs.add_unit ~lane) profile;
+      { path; output; code; profile }
+    | Runner.Timed_out { seconds; attempts } ->
+      Obs.count "checker.timeout_units" 1;
+      {
+        path;
+        output = fault_block path (Report.Timeout { unit_name = path; seconds; attempts });
+        code = 3;
+        profile = None;
+      }
+    | Runner.Crashed { reason; attempts } ->
+      Obs.count "checker.crashed_units" 1;
+      {
+        path;
+        output =
+          fault_block path (Report.Worker_crashed { unit_name = path; reason; attempts });
+        code = 3;
+        profile = None;
+      }
+  in
+  merge_outcomes ~of_outcome annotated outcomes
 
 let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts
 
@@ -185,12 +338,18 @@ let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts
    are replayed in input order, so lint output is byte-identical for any
    [-j] level. *)
 
-let lint_file ?limits ?thresholds path =
+let lint_file_with ?limits ?thresholds ~after path =
   fault_hook path;
   let result, profile =
-    Obs.in_unit ~name:path (fun () -> Lint.lint_path ?limits ?thresholds path)
+    Obs.in_unit ~name:path (fun () ->
+        let r = Lint.lint_path ?limits ?thresholds path in
+        after r;
+        r)
   in
   (result, profile)
+
+let lint_file ?limits ?thresholds path =
+  lint_file_with ?limits ?thresholds ~after:(fun _ -> ()) path
 
 let engine_result path (rule : Rules.t) message =
   {
@@ -210,28 +369,54 @@ let engine_result path (rule : Rules.t) message =
     suppressed = [];
   }
 
-let lint_files ?(jobs = 1) ?(limits = Limits.default) ?thresholds paths =
-  let payload limits path = lint_file ~limits ?thresholds path in
-  let outcomes =
-    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline
-      ~retry:(payload (Limits.reduced limits))
-      ~f:(payload limits) paths
+let lint_files ?(jobs = 1) ?(limits = Limits.default) ?thresholds ?cache
+    ?(cache_extra = []) paths =
+  let annotated =
+    annotate ~cache
+      ~key_of:(lint_cache_key ~limits ?thresholds ~extra:cache_extra)
+      ~hit_of:(fun _path payload ->
+        match payload with
+        | Cached_lint result -> Some result
+        | Cached_check _ -> None)
+      paths
   in
-  List.map2
-    (fun path (outcome, lane) ->
-      match outcome with
-      | Runner.Done (result, profile) ->
-        Option.iter (Obs.add_unit ~lane) profile;
-        result
-      | Runner.Timed_out { seconds; attempts } ->
-        Obs.count "checker.timeout_units" 1;
-        engine_result path Rules.rule_resource_limit
-          (Printf.sprintf
-             "linting exceeded the %gs wall-clock deadline (%d attempts)" seconds
-             attempts)
-      | Runner.Crashed { reason; attempts } ->
-        Obs.count "checker.crashed_units" 1;
-        engine_result path Rules.rule_internal_error
-          (Printf.sprintf "lint worker died without a result: %s (%d attempts)" reason
-             attempts))
-    paths outcomes
+  let misses =
+    List.filter_map
+      (fun (path, hit, key) ->
+        match hit with
+        | Some _ -> None
+        | None -> Some (path, key))
+      annotated
+  in
+  let payload (path, key) =
+    let after result =
+      match (cache, key) with
+      | Some c, Some k -> Cache.store c k (Cached_lint result)
+      | _ -> ()
+    in
+    lint_file_with ~limits ?thresholds ~after path
+  in
+  let retry_payload (path, _key) =
+    lint_file ~limits:(Limits.reduced limits) ?thresholds path
+  in
+  let outcomes =
+    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline ~retry:retry_payload
+      ~f:payload misses
+  in
+  let of_outcome path outcome lane =
+    match outcome with
+    | Runner.Done (result, profile) ->
+      Option.iter (Obs.add_unit ~lane) profile;
+      result
+    | Runner.Timed_out { seconds; attempts } ->
+      Obs.count "checker.timeout_units" 1;
+      engine_result path Rules.rule_resource_limit
+        (Printf.sprintf "linting exceeded the %gs wall-clock deadline (%d attempts)"
+           seconds attempts)
+    | Runner.Crashed { reason; attempts } ->
+      Obs.count "checker.crashed_units" 1;
+      engine_result path Rules.rule_internal_error
+        (Printf.sprintf "lint worker died without a result: %s (%d attempts)" reason
+           attempts)
+  in
+  merge_outcomes ~of_outcome annotated outcomes

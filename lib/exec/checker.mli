@@ -58,18 +58,65 @@ val check_files :
   ?explain:bool ->
   ?lint:bool ->
   ?extra_env:Usage.env ->
+  ?cache:Cache.t ->
+  ?cache_extra:string list ->
   string list ->
   verdict list
 (** All files, in input order, through a {!Runner} pool of [jobs] workers
     (default 1) with [limits.deadline] as the per-unit wall clock. With
     [jobs <= 1] and no deadline this degenerates to {!check_file} in-process.
 
+    With [?cache], every readable file is first looked up under its
+    {!check_cache_key} (computed in the orchestrator, so an entry is read
+    once however many workers run); hits yield their stored verdict without
+    forking a worker or running {!fault_hook}, misses run as usual and the
+    {e worker} stores the rendered result atomically before exiting, so a
+    warm rerun is byte-identical to the cold run at any [jobs] level.
+    Timed-out and crashed units are never stored (their blocks are built in
+    the parent), and the reduced-budget retry's result is never stored (it
+    answers a smaller-fuel question than the key describes). [cache_extra]
+    carries key material only the caller knows — the CLI passes the digests
+    of every [--using] model file, since those shape verdicts too.
+
     When the {!Obs} recorder is enabled, each completed unit's profile
     (captured inside the worker and marshaled back with the verdict) is
     merged into the parent recorder under the worker's pool lane
-    ({!Runner.map_ex}), and timed-out / crashed units are tallied under
-    [checker.timeout_units] / [checker.crashed_units]. Observability never
-    touches [output]: report text stays byte-identical with it on or off. *)
+    ({!Runner.map_ex}), timed-out / crashed units are tallied under
+    [checker.timeout_units] / [checker.crashed_units], and cache behavior
+    appears as [cache.hits] / [cache.misses] / [cache.stale_evictions] /
+    [cache.corrupt_entries] / [cache.bytes_read] (stable orchestrator
+    counters) plus [cache.bytes_written] inside each storing unit's profile.
+    Observability never touches [output]: report text stays byte-identical
+    with it on or off. *)
+
+val check_cache_key :
+  ?limits:Limits.t ->
+  ?warnings:bool ->
+  ?explain:bool ->
+  ?lint:bool ->
+  ?extra:string list ->
+  path:string ->
+  string ->
+  string
+(** The content-addressed cache key of one check-mode verification unit:
+    a digest over the [path] and source bytes, the deterministic budget
+    fields of [limits] (the wall-clock deadline is excluded — it can prevent
+    a verdict but never change one), the output-shaping flags,
+    {!Cache.tool_version}, {!Pipeline.semantics_version},
+    {!Rules.fingerprint} (when [lint]) and any [extra] caller material.
+    [path] is key material because rendered blocks embed it ("== path =="):
+    equal bytes at two paths must not share an entry. Exposed so tests can
+    pin the invalidation rules. *)
+
+val lint_cache_key :
+  ?limits:Limits.t ->
+  ?thresholds:Lint_semantic.thresholds ->
+  ?extra:string list ->
+  path:string ->
+  string ->
+  string
+(** The key of one lint-mode unit: path and source bytes, budgets,
+    thresholds, {!Rules.fingerprint}, tool and semantics versions. *)
 
 val exit_code : verdict list -> int
 (** The process exit code: the maximum per-file code. 0 = every file
@@ -81,6 +128,8 @@ val lint_files :
   ?jobs:int ->
   ?limits:Limits.t ->
   ?thresholds:Lint_semantic.thresholds ->
+  ?cache:Cache.t ->
+  ?cache_extra:string list ->
   string list ->
   Lint.file_result list
 (** All files through the lint engine ({!Lint.lint_path}), in input order,
@@ -90,7 +139,10 @@ val lint_files :
     unit that times out yields one SY090 finding, a crashed worker one
     SY091 finding, and every other file still completes. Output built from
     the results is byte-identical for any [jobs] level. Per-unit [Obs]
-    profiles merge into the parent recorder exactly as for checking. *)
+    profiles merge into the parent recorder exactly as for checking.
+    [?cache] / [?cache_extra] behave exactly as in {!check_files}, with
+    {!lint_cache_key} as the key and the whole [Lint.file_result] as the
+    stored payload. *)
 
 val fault_injection : bool ref
 (** Arms {!fault_hook}. Defaults to [false], in which case the hook is

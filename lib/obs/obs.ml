@@ -16,6 +16,10 @@ let fake_clock_env = "SHELLEY_OBS_FAKE_CLOCK"
 type state = {
   mutable events : event list;  (* reversed *)
   mutable ctrs : (string, int) Hashtbl.t;
+  mutable stable_ctrs : (string, int) Hashtbl.t;
+      (* deterministic orchestrator counters (cache hits/misses, …): unlike
+         [ctrs] these are shown in the --stats table, so only byte-stable
+         values belong here — never timings *)
   mutable unit_profiles : (int * profile) list;  (* reversed *)
   mutable ticks : int;  (* fake-clock position, meaningful iff [fake] *)
   fake : bool;
@@ -44,6 +48,7 @@ let enable ?fake_clock () =
       {
         events = [];
         ctrs = Hashtbl.create 32;
+        stable_ctrs = Hashtbl.create 8;
         unit_profiles = [];
         ticks = 0;
         fake;
@@ -58,6 +63,7 @@ let reset () =
   | Some st ->
     st.events <- [];
     st.ctrs <- Hashtbl.create 32;
+    st.stable_ctrs <- Hashtbl.create 8;
     st.unit_profiles <- [];
     st.ticks <- 0;
     st.epoch <- Unix.gettimeofday ()
@@ -79,6 +85,16 @@ let count key n =
     match Hashtbl.find_opt st.ctrs key with
     | Some v -> Hashtbl.replace st.ctrs key (v + n)
     | None -> Hashtbl.add st.ctrs key n)
+
+(* Stable counters live in their own table so [in_unit]'s buffer swap never
+   redirects them: they always describe the orchestrator's own bookkeeping. *)
+let count_stable key n =
+  match !state with
+  | None -> ()
+  | Some st -> (
+    match Hashtbl.find_opt st.stable_ctrs key with
+    | Some v -> Hashtbl.replace st.stable_ctrs key (v + n)
+    | None -> Hashtbl.add st.stable_ctrs key n)
 
 let with_span ?(args = []) name f =
   match !state with
@@ -164,6 +180,11 @@ let counters () =
   | None -> []
   | Some st -> sorted_counters st.ctrs
 
+let stable_counters () =
+  match !state with
+  | None -> []
+  | Some st -> sorted_counters st.stable_ctrs
+
 let unit_counters () =
   let tbl = Hashtbl.create 32 in
   List.iter
@@ -215,6 +236,16 @@ let clock_label () =
 
 (* --- sinks ----------------------------------------------------------------- *)
 
+let merge_counter_lists lists =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (List.iter (fun (k, v) ->
+         match Hashtbl.find_opt tbl k with
+         | Some v0 -> Hashtbl.replace tbl k (v0 + v)
+         | None -> Hashtbl.add tbl k v))
+    lists;
+  sorted_counters tbl
+
 let render_stats fmt =
   let phases = phase_totals () in
   let n_units = List.length (units ()) in
@@ -227,12 +258,17 @@ let render_stats fmt =
     List.iter
       (fun (name, c, tot) ->
         Format.fprintf fmt "%-36s %7d %12d %12d@." name c tot (tot / max 1 c))
-      phases;
-    let ctrs = unit_counters () in
-    if ctrs <> [] then begin
-      Format.fprintf fmt "counters@.";
-      List.iter (fun (k, v) -> Format.fprintf fmt "  %-44s %12d@." k v) ctrs
-    end
+      phases
+  end;
+  (* Unit counters plus the stable orchestrator counters (cache behavior):
+     both are byte-stable for a given corpus, so — unlike the worker-pool
+     timing counters, which feed only the metrics sink — they may appear in
+     this table. A warm all-hits run has no unit profiles at all, but its
+     cache counters still print. *)
+  let ctrs = merge_counter_lists [ unit_counters (); stable_counters () ] in
+  if ctrs <> [] then begin
+    Format.fprintf fmt "counters@.";
+    List.iter (fun (k, v) -> Format.fprintf fmt "  %-44s %12d@." k v) ctrs
   end
 
 let json_escape s =
@@ -281,14 +317,9 @@ let render_metrics_json () =
            (json_escape name) c tot (tot / max 1 c)))
     (phase_totals ());
   Buffer.add_string b (if !first then "],\n" else "\n  ],\n");
-  (* counters: unit sums, then recorder-level (worker pool etc.) merged in *)
-  let merged = Hashtbl.create 32 in
-  List.iter
-    (fun (k, v) ->
-      match Hashtbl.find_opt merged k with
-      | Some v0 -> Hashtbl.replace merged k (v0 + v)
-      | None -> Hashtbl.add merged k v)
-    (unit_counters () @ counters ());
+  (* counters: unit sums, then recorder-level (worker pool etc.) and the
+     stable orchestrator counters (cache behavior) merged in *)
+  let merged = merge_counter_lists [ unit_counters (); counters (); stable_counters () ] in
   Buffer.add_string b "  \"counters\": {";
   let first = ref true in
   List.iter
@@ -296,7 +327,7 @@ let render_metrics_json () =
       if not !first then Buffer.add_string b ",";
       first := false;
       Buffer.add_string b (Printf.sprintf "\n    \"%s\": %d" (json_escape k) v))
-    (sorted_counters merged);
+    merged;
   Buffer.add_string b (if !first then "}\n" else "\n  }\n");
   Buffer.add_string b "}\n";
   Buffer.contents b

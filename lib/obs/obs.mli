@@ -73,6 +73,16 @@ val count : string -> int -> unit
 (** [count key n] adds [n] to counter [key] (created at 0). One branch
     when disabled. *)
 
+val count_stable : string -> int -> unit
+(** Like {!count}, but into the recorder's {e stable} counter table: values
+    that are deterministic for a given corpus and configuration (cache hits,
+    misses, bytes — never timings). Stable counters are exempt from
+    {!in_unit}'s buffer swap (they always describe the orchestrator), are
+    shown in the [--stats] table alongside the unit counters, and merge into
+    the metrics JSON like every other counter. The worker-pool timing
+    counters deliberately use plain {!count} so nondeterministic values
+    never reach the byte-stable stats table. *)
+
 (** Aliases matching the subsystem vocabulary ([Obs.Span.run],
     [Obs.Counter.add]). *)
 module Span : sig
@@ -107,7 +117,10 @@ val profile_total_us : profile -> int
 val counters : unit -> (string * int) list
 (** Recorder-level (parent/orchestrator) counters, sorted by name —
     e.g. the worker-pool stats {!Runner} records. Does not include unit
-    counters; see {!unit_counters}. *)
+    counters ({!unit_counters}) or stable counters ({!stable_counters}). *)
+
+val stable_counters : unit -> (string * int) list
+(** The {!count_stable} table, sorted by name. *)
 
 val unit_counters : unit -> (string * int) list
 (** Counters summed across all merged unit profiles, sorted by name.
@@ -122,8 +135,9 @@ val phase_totals : unit -> (string * int * int) list
 
 val render_stats : Format.formatter -> unit
 (** The human [--stats] table: per-phase counts and timings plus unit
-    counters. Built only from merged unit profiles, so it is byte-stable
-    under the fake clock regardless of [-j]. *)
+    counters and stable orchestrator counters. Built only from merged unit
+    profiles and {!count_stable} values, so it is byte-stable under the
+    fake clock regardless of [-j]. *)
 
 val render_metrics_json : unit -> string
 (** Machine-readable metrics, schema ["shelley.metrics/1"]: top-level keys

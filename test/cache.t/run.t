@@ -1,0 +1,105 @@
+Result-cache golden tests. A cold run populates the cache and a warm rerun
+is byte-identical — the cache must never change what the user sees, only
+how fast they see it:
+
+  $ shelley check --cache .c valve.py bad_sector.py > cold.out 2>&1; echo "exit $?"
+  exit 1
+  $ shelley check --cache .c valve.py bad_sector.py > warm.out 2>&1; echo "exit $?"
+  exit 1
+  $ cmp cold.out warm.out && echo identical
+  identical
+
+The warm run's metrics prove it was served from the cache, and a parallel
+warm run still matches byte for byte:
+
+  $ shelley check --cache .c --metrics-out m.json valve.py bad_sector.py > /dev/null 2>&1; echo "exit $?"
+  exit 1
+  $ grep -o '"cache.hits": 2' m.json
+  "cache.hits": 2
+  $ shelley check --cache .c -j 4 valve.py bad_sector.py > warm4.out 2>&1; cmp cold.out warm4.out && echo identical
+  identical
+
+The stable cache counters join the --stats table (fake clock keeps the
+timings printable):
+
+  $ SHELLEY_OBS_FAKE_CLOCK=1 shelley check --cache .c --stats valve.py bad_sector.py > /dev/null 2>stats.txt; echo "exit $?"
+  exit 1
+  $ grep 'cache\.' stats.txt
+    cache.bytes_read                                      328
+    cache.hits                                              2
+
+'cache stats' classifies every file in the directory:
+
+  $ shelley cache stats .c --json | grep -E 'live_entries|stale_entries|corrupt_entries|tmp_files'
+    "live_entries": 2,
+    "stale_entries": 0,
+    "corrupt_entries": 0,
+    "tmp_files": 0
+
+Changing a deterministic budget composes different keys — the old verdicts
+must not be replayed for a question they never answered:
+
+  $ shelley check --cache .c --fuel 12345 --metrics-out fuel.json valve.py bad_sector.py > /dev/null 2>&1
+  [1]
+  $ grep -o '"cache.misses": 2' fuel.json
+  "cache.misses": 2
+  $ shelley check --cache .c --max-states 777 --metrics-out states.json valve.py bad_sector.py > /dev/null 2>&1
+  [1]
+  $ grep -o '"cache.misses": 2' states.json
+  "cache.misses": 2
+
+So does changing the lint rule configuration:
+
+  $ shelley lint --cache .c --metrics-out l1.json valve.py > /dev/null 2>&1
+  $ grep -o '"cache.misses": 1' l1.json
+  "cache.misses": 1
+  $ shelley lint --cache .c --metrics-out l2.json valve.py > /dev/null 2>&1
+  $ grep -o '"cache.hits": 1' l2.json
+  "cache.hits": 1
+  $ shelley lint --cache .c --max-behavior-size 3 --metrics-out l3.json valve.py > /dev/null 2>&1
+  $ grep -o '"cache.misses": 1' l3.json
+  "cache.misses": 1
+
+'cache gc' sweeps what a lookup would refuse — a stale-version entry and an
+abandoned temp file — and keeps the live entries:
+
+  $ mkdir -p .c/zz
+  $ printf 'shelley-cache 999\nchecksum\npayload' > .c/zz/0000000000000000000000000000zz00.entry
+  $ touch .c/zz/.tmp-interrupted-writer
+  $ shelley cache gc .c | sed 's/kept [0-9]*/kept N/'
+  removed 1 stale, 0 corrupt, 1 temp; kept N live
+
+A corrupted entry is recomputed, and the recomputed output is byte-identical
+to the original cold run:
+
+  $ for f in .c/*/*.entry; do printf 'garbage' > "$f"; done
+  $ shelley check --cache .c --metrics-out corrupt.json valve.py bad_sector.py > recomputed.out 2>&1; echo "exit $?"
+  exit 1
+  $ grep -o '"cache.corrupt_entries": 2' corrupt.json
+  "cache.corrupt_entries": 2
+  $ cmp cold.out recomputed.out && echo identical
+  identical
+
+'cache clear' empties the directory without removing it:
+
+  $ shelley cache clear .c | sed 's/[0-9]* files/N files/'
+  removed N files
+  $ shelley cache stats .c --json | grep live_entries
+    "live_entries": 0,
+
+Maintenance on a directory that does not exist is an error, not a silent
+empty cache:
+
+  $ shelley cache stats .nosuch
+  error: no cache directory at .nosuch
+  [2]
+
+A cache path that cannot be a directory degrades to an uncached run with a
+warning — never a failure:
+
+  $ touch notadir
+  $ shelley check --cache notadir valve.py 2>warn.txt; echo "exit $?"
+  OK: specification verified
+  exit 0
+  $ cat warn.txt
+  warning: cannot open cache directory notadir; continuing without a result cache

@@ -271,6 +271,133 @@ let prop_pipeline_total_on_mutations =
       let result = Pipeline.verify_source ~limits:starved source in
       List.for_all well_formed result.Pipeline.reports)
 
+(* --- Cache corruption ----------------------------------------------------------
+
+   Every way an entry can rot on disk must classify as a miss (recompute),
+   never a crash and never a wrong value — and each mode must tally its own
+   counter so a rotting cache is visible in --stats. *)
+
+let with_temp_cache f =
+  let dir = Filename.temp_file "shelley_fault_cache" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect
+    ~finally:(fun () -> rm dir)
+    (fun () ->
+      match Cache.open_dir (Filename.concat dir "c") with
+      | Ok c -> f c
+      | Error msg -> Alcotest.fail msg)
+
+(* The on-disk layout pinned by cache.ml: DIR/<2-hex fanout>/<key>.entry. *)
+let entry_path c key =
+  Filename.concat (Filename.concat (Cache.dir c) (String.sub key 0 2)) (key ^ ".entry")
+
+let overwrite path bytes =
+  let oc = open_out_bin path in
+  output_string oc bytes;
+  close_out oc
+
+let stable k = Option.value ~default:0 (List.assoc_opt k (Obs.stable_counters ()))
+
+let observing f =
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable f
+
+let test_truncated_entry_is_miss () =
+  with_temp_cache (fun c ->
+      let key = Cache.key [ "truncation" ] in
+      Cache.store c key (1, "payload", [ 2; 3 ]);
+      let path = entry_path c key in
+      let len = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (len - 1);
+      observing (fun () ->
+          Alcotest.(check bool)
+            "truncated payload is a miss" true
+            ((Cache.find c key : (int * string * int list) option) = None);
+          Alcotest.(check int) "counted as corrupt" 1 (stable "cache.corrupt_entries"));
+      (* Cutting above the checksum line leaves no payload at all. *)
+      Cache.store c key (1, "payload", [ 2; 3 ]);
+      Unix.truncate path (String.length "shelley-cache 1");
+      observing (fun () ->
+          Alcotest.(check bool)
+            "headerless stub is a miss" true
+            ((Cache.find c key : (int * string * int list) option) = None));
+      (* The slot is still usable: a later store recomputes and wins. *)
+      Cache.store c key (9, "again", []);
+      Alcotest.(check bool)
+        "recompute re-stores over the wreck" true
+        (Cache.find c key = Some (9, "again", ([] : int list))))
+
+let test_wrong_version_is_evicted () =
+  with_temp_cache (fun c ->
+      let key = Cache.key [ "stale" ] in
+      Cache.store c key 7;
+      let path = entry_path c key in
+      overwrite path "shelley-cache 999\nsomething\npayload";
+      observing (fun () ->
+          Alcotest.(check bool)
+            "stale version is a miss" true
+            ((Cache.find c key : int option) = None);
+          Alcotest.(check int) "counted as stale" 1 (stable "cache.stale_evictions");
+          Alcotest.(check int) "not counted as corrupt" 0 (stable "cache.corrupt_entries"));
+      Alcotest.(check bool) "evicted on contact" false (Sys.file_exists path))
+
+let test_undecodable_blob_is_miss () =
+  with_temp_cache (fun c ->
+      let key = Cache.key [ "garbage" ] in
+      Cache.store c key 7;
+      let path = entry_path c key in
+      (* Valid header, valid checksum — over bytes Marshal cannot decode. The
+         checksum passes, so this exercises the last line of defense. *)
+      let payload = "certainly not a marshalled value" in
+      overwrite path
+        (Printf.sprintf "shelley-cache 1\n%s\n%s"
+           (Digest.to_hex (Digest.string payload))
+           payload);
+      observing (fun () ->
+          Alcotest.(check bool)
+            "undecodable blob is a miss" true
+            ((Cache.find c key : int option) = None);
+          Alcotest.(check int) "counted as corrupt" 1 (stable "cache.corrupt_entries")))
+
+let test_open_dir_on_regular_file_degrades () =
+  let file = Filename.temp_file "shelley_fault_cache_file" "" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove file with Sys_error _ -> ())
+    (fun () ->
+      match Cache.open_dir file with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "open_dir accepted a regular file")
+
+let test_read_only_dir_store_is_counted () =
+  (* chmod does not bind root, so this scenario is untestable there (CI
+     containers often run as root; the cram suite covers the degradation
+     path for them via a file-as-directory cache). *)
+  if Unix.geteuid () = 0 then ()
+  else
+    with_temp_cache (fun c ->
+        Unix.chmod (Cache.dir c) 0o555;
+        Fun.protect
+          ~finally:(fun () -> Unix.chmod (Cache.dir c) 0o755)
+          (fun () ->
+            let key = Cache.key [ "readonly" ] in
+            observing (fun () ->
+                Cache.store c key 7;
+                Alcotest.(check int)
+                  "failure counted" 1
+                  (Option.value ~default:0
+                     (List.assoc_opt "cache.store_failures" (Obs.counters ())));
+                Alcotest.(check bool)
+                  "nothing stored" true
+                  ((Cache.find c key : int option) = None))))
+
 (* --- Suite -------------------------------------------------------------------- *)
 
 let () =
@@ -304,5 +431,16 @@ let () =
             test_starved_pipeline_runs_other_checks;
           prop_pipeline_total_on_garbage;
           prop_pipeline_total_on_mutations;
+        ] );
+      ( "cache corruption",
+        [
+          Alcotest.test_case "truncated entry is a miss" `Quick test_truncated_entry_is_miss;
+          Alcotest.test_case "wrong version is evicted" `Quick test_wrong_version_is_evicted;
+          Alcotest.test_case "undecodable blob is a miss" `Quick
+            test_undecodable_blob_is_miss;
+          Alcotest.test_case "open_dir on a file degrades" `Quick
+            test_open_dir_on_regular_file_degrades;
+          Alcotest.test_case "read-only store is counted" `Quick
+            test_read_only_dir_store_is_counted;
         ] );
     ]

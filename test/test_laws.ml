@@ -11,31 +11,31 @@ let max_len = 4
 let lang r = Enumerate.words_upto ~max_len r
 let same_lang r1 r2 = Equiv.equivalent r1 r2
 
-let pair_gen = QCheck2.Gen.pair default_regex_gen default_regex_gen
-let triple_gen = QCheck2.Gen.triple default_regex_gen default_regex_gen default_regex_gen
-let pair_print (a, b) = regex_print a ^ " , " ^ regex_print b
-let triple_print (a, b, c) = String.concat " , " (List.map regex_print [ a; b; c ])
+(* Tuples of the shared shrinking arbitrary: a failing algebraic identity
+   comes back with each component minimized independently. *)
+let pair_arb = QCheck.pair regex_arb regex_arb
+let triple_arb = QCheck.triple regex_arb regex_arb regex_arb
 
 (* --- Kleene algebra -------------------------------------------------------------- *)
 
 let prop_alt_assoc_comm =
-  qtest "+ is associative and commutative" ~count:150 triple_gen ~print:triple_print
+  qtest_arb "+ is associative and commutative" ~count:150 triple_arb
     (fun (a, b, c) ->
       same_lang (Regex.alt a (Regex.alt b c)) (Regex.alt (Regex.alt a b) c)
       && same_lang (Regex.alt a b) (Regex.alt b a))
 
 let prop_seq_assoc =
-  qtest "· is associative" ~count:150 triple_gen ~print:triple_print (fun (a, b, c) ->
+  qtest_arb "· is associative" ~count:150 triple_arb (fun (a, b, c) ->
       same_lang (Regex.seq a (Regex.seq b c)) (Regex.seq (Regex.seq a b) c))
 
 let prop_distribution =
-  qtest "· distributes over + on both sides" ~count:150 triple_gen ~print:triple_print
+  qtest_arb "· distributes over + on both sides" ~count:150 triple_arb
     (fun (a, b, c) ->
       same_lang (Regex.seq a (Regex.alt b c)) (Regex.alt (Regex.seq a b) (Regex.seq a c))
       && same_lang (Regex.seq (Regex.alt a b) c) (Regex.alt (Regex.seq a c) (Regex.seq b c)))
 
 let prop_star_laws =
-  qtest "star unrolling and denesting" ~count:150 default_regex_gen ~print:regex_print
+  qtest_arb "star unrolling and denesting" ~count:150 regex_arb
     (fun r ->
       let s = Regex.star r in
       same_lang s (Regex.alt Regex.eps (Regex.seq r s))
@@ -43,7 +43,7 @@ let prop_star_laws =
       && same_lang (Regex.star s) s)
 
 let prop_star_of_sum =
-  qtest "(a+b)* = (a* b*)*" ~count:100 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "(a+b)* = (a* b*)*" ~count:100 pair_arb (fun (a, b) ->
       same_lang
         (Regex.star (Regex.alt a b))
         (Regex.star (Regex.seq (Regex.star a) (Regex.star b))))
@@ -53,35 +53,34 @@ let prop_star_of_sum =
 let nfa_lang nfa = Nfa.words_upto ~max_len nfa
 
 let prop_nfa_union =
-  qtest "Nfa.union realizes +" ~count:100 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "Nfa.union realizes +" ~count:100 pair_arb (fun (a, b) ->
       Trace.Set.equal
         (nfa_lang (Nfa.union (Thompson.of_regex a) (Thompson.of_regex b)))
         (lang (Regex.alt a b)))
 
 let prop_nfa_concat =
-  qtest "Nfa.concat realizes ·" ~count:100 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "Nfa.concat realizes ·" ~count:100 pair_arb (fun (a, b) ->
       Trace.Set.equal
         (nfa_lang (Nfa.concat (Thompson.of_regex a) (Thompson.of_regex b)))
         (lang (Regex.seq a b)))
 
 let prop_nfa_star =
-  qtest "Nfa.star realizes *" ~count:100 default_regex_gen ~print:regex_print (fun r ->
+  qtest_arb "Nfa.star realizes *" ~count:100 regex_arb (fun r ->
       Trace.Set.equal (nfa_lang (Nfa.star (Thompson.of_regex r))) (lang (Regex.star r)))
 
 let prop_trim_preserves =
-  qtest "trim preserves the language" ~count:100 default_regex_gen ~print:regex_print
+  qtest_arb "trim preserves the language" ~count:100 regex_arb
     (fun r ->
       let nfa = Thompson.of_regex r in
       Trace.Set.equal (nfa_lang (Nfa.trim nfa)) (nfa_lang nfa))
 
 let prop_reverse_involution =
-  qtest "reverse is an involution on the language" ~count:100 default_regex_gen
-    ~print:regex_print (fun r ->
+  qtest_arb "reverse is an involution on the language" ~count:100 regex_arb (fun r ->
       let nfa = Thompson.of_regex r in
       Trace.Set.equal (nfa_lang (Nfa.reverse (Nfa.reverse nfa))) (nfa_lang nfa))
 
 let prop_reverse_reverses_words =
-  qtest "reverse reverses every word" ~count:100 default_regex_gen ~print:regex_print
+  qtest_arb "reverse reverses every word" ~count:100 regex_arb
     (fun r ->
       let nfa = Thompson.of_regex r in
       let reversed = nfa_lang (Nfa.reverse nfa) in
@@ -100,32 +99,32 @@ let all_words =
   lang (Regex.star (Regex.alt_list (List.map Regex.sym full_alphabet)))
 
 let prop_complement =
-  qtest "complement flips membership" ~count:100 default_regex_gen ~print:regex_print
+  qtest_arb "complement flips membership" ~count:100 regex_arb
     (fun r ->
       let d = dfa_of r in
       let c = Dfa.complement d in
       Trace.Set.for_all (fun w -> Dfa.accepts d w <> Dfa.accepts c w) all_words)
 
 let prop_double_complement =
-  qtest "double complement is identity" ~count:100 default_regex_gen ~print:regex_print
+  qtest_arb "double complement is identity" ~count:100 regex_arb
     (fun r ->
       let d = dfa_of r in
       Dfa.equivalent d (Dfa.complement (Dfa.complement d)))
 
 let prop_de_morgan =
-  qtest "De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B" ~count:80 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "De Morgan: ¬(A ∪ B) = ¬A ∩ ¬B" ~count:80 pair_arb (fun (a, b) ->
       let da = dfa_of a and db = dfa_of b in
       Dfa.equivalent
         (Dfa.complement (Dfa.union da db))
         (Dfa.intersect (Dfa.complement da) (Dfa.complement db)))
 
 let prop_difference =
-  qtest "A \\ B = A ∩ ¬B" ~count:80 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "A \\ B = A ∩ ¬B" ~count:80 pair_arb (fun (a, b) ->
       let da = dfa_of a and db = dfa_of b in
       Dfa.equivalent (Dfa.difference da db) (Dfa.intersect da (Dfa.complement db)))
 
 let prop_intersection_language =
-  qtest "DFA and NFA intersection agree" ~count:80 pair_gen ~print:pair_print (fun (a, b) ->
+  qtest_arb "DFA and NFA intersection agree" ~count:80 pair_arb (fun (a, b) ->
       let via_dfa = dfa_lang (Dfa.intersect (dfa_of a) (dfa_of b)) in
       let via_nfa = nfa_lang (Language.intersect (Thompson.of_regex a) (Thompson.of_regex b)) in
       Trace.Set.equal via_dfa via_nfa)
@@ -133,8 +132,7 @@ let prop_intersection_language =
 (* --- Minimization canonicity ------------------------------------------------------------ *)
 
 let prop_minimal_dfa_canonical =
-  qtest "equivalent regexes minimize to isomorphic DFAs" ~count:80 default_regex_gen
-    ~print:regex_print (fun r ->
+  qtest_arb "equivalent regexes minimize to isomorphic DFAs" ~count:80 regex_arb (fun r ->
       (* r and a syntactically different equivalent form. *)
       let r' = Regex.alt r (Regex.seq r Regex.empty) |> Regex.alt r in
       let variant = Regex.alt (Regex.seq Regex.eps r) r' in
@@ -143,8 +141,7 @@ let prop_minimal_dfa_canonical =
       Minimize.isomorphic m1 m2)
 
 let prop_minimize_smallest =
-  qtest "no equivalent DFA is smaller than the minimized one" ~count:60 default_regex_gen
-    ~print:regex_print (fun r ->
+  qtest_arb "no equivalent DFA is smaller than the minimized one" ~count:60 regex_arb (fun r ->
       (* Weak but useful probe: minimizing twice, or via the other algorithm,
          never shrinks further. *)
       let m = Minimize.minimize_hopcroft (dfa_of r) in
@@ -153,7 +150,7 @@ let prop_minimize_smallest =
 (* --- Sampling stays inside the language -------------------------------------------------- *)
 
 let prop_sampling_sound =
-  qtest "samples are members" ~count:60 default_regex_gen ~print:regex_print (fun r ->
+  qtest_arb "samples are members" ~count:60 regex_arb (fun r ->
       let nfa = Thompson.of_regex r in
       let state = Random.State.make [| Regex.size r |] in
       match Sample.from_nfa ~state ~target_len:5 nfa with

@@ -44,13 +44,19 @@ let lemma_split_holds p =
   let returned_ok = Trace.Set.equal sem.Semantics.returned returned_language in
   ongoing_ok && returned_ok
 
-(* --- Bounded-exhaustive: every program up to size 4 over {a, b} -------------- *)
+(* --- Bounded-exhaustive: every program up to size 6 over {a, b} -------------- *)
 
 let small_alphabet = [ sym "a"; sym "b" ]
+let tri_alphabet = [ sym "a"; sym "b"; sym "c" ]
+
+(* The three-letter pass runs one size deeper in the nightly job
+   (SHELLEY_THEOREMS_DEEP=1): 7030 programs instead of 1525. The default
+   keeps tier-1 wall-clock in check while nightly buys the bigger net. *)
+let tri_size = if Sys.getenv_opt "SHELLEY_THEOREMS_DEEP" <> None then 6 else 5
 
 let test_exhaustive_small () =
-  let progs = Prog_gen.all_upto_size ~size:5 ~alphabet:small_alphabet in
-  Alcotest.(check bool) "non-trivial corpus" true (List.length progs > 500);
+  let progs = Prog_gen.all_upto_size ~size:6 ~alphabet:small_alphabet in
+  Alcotest.(check bool) "non-trivial corpus" true (List.length progs > 3000);
   List.iter
     (fun p ->
       if not (theorems_hold p) then
@@ -58,7 +64,7 @@ let test_exhaustive_small () =
     progs
 
 let test_exhaustive_small_split () =
-  let progs = Prog_gen.all_upto_size ~size:5 ~alphabet:small_alphabet in
+  let progs = Prog_gen.all_upto_size ~size:6 ~alphabet:small_alphabet in
   List.iter
     (fun p ->
       if not (lemma_split_holds p) then
@@ -93,21 +99,16 @@ let test_paper_loop_language () =
   Alcotest.check trace_set "inference agrees" expected
     (bounded_language_of_infer Ir_examples.paper_loop)
 
-(* --- Properties (random larger programs) ------------------------------------------ *)
-
-let prog_gen_large = prog_gen_over Prog_gen.default_alphabet
+(* --- Properties (random larger programs, shrinking counterexamples) ---------------- *)
 
 let prop_soundness =
-  qtest "Theorem 1 (soundness)" ~count:300 prog_gen_large ~print:prog_print
-    soundness_holds
+  qtest_arb "Theorem 1 (soundness)" ~count:300 prog_arb soundness_holds
 
 let prop_completeness =
-  qtest "Theorem 2 (completeness)" ~count:300 prog_gen_large ~print:prog_print
-    completeness_holds
+  qtest_arb "Theorem 2 (completeness)" ~count:300 prog_arb completeness_holds
 
 let prop_split =
-  qtest "proof lemmas (1)/(2): status split" ~count:200 prog_gen_large ~print:prog_print
-    lemma_split_holds
+  qtest_arb "proof lemmas (1)/(2): status split" ~count:200 prog_arb lemma_split_holds
 
 (* Corollary 1: L(p) is regular. We realize the regular language as an
    automaton, minimize it, convert back to a regex, and require the bounded
@@ -123,8 +124,21 @@ let corollary_roundtrip p =
   && Trace.Set.equal sem (Enumerate.words_upto_over ~alphabet:(Regex.alphabet r) ~max_len back)
 
 let prop_corollary =
-  qtest "Corollary 1 (regularity round-trip)" ~count:150 prog_gen_large ~print:prog_print
-    corollary_roundtrip
+  qtest_arb "Corollary 1 (regularity round-trip)" ~count:150 prog_arb corollary_roundtrip
+
+(* Theorems 1–2 and Corollary 1 pinned over a *three*-letter alphabet: the
+   two-letter pass cannot distinguish, e.g., a bug that conflates the two
+   non-looping symbols. Exhaustive up to [tri_size]. *)
+let test_exhaustive_tri () =
+  let progs = Prog_gen.all_upto_size ~size:tri_size ~alphabet:tri_alphabet in
+  Alcotest.(check bool) "non-trivial corpus" true (List.length progs > 1000);
+  List.iter
+    (fun p ->
+      if not (theorems_hold p) then
+        Alcotest.failf "theorems fail on %s" (Prog.to_string p);
+      if not (corollary_roundtrip p) then
+        Alcotest.failf "round-trip fails on %s" (Prog.to_string p))
+    progs
 
 let test_corollary_on_corpus () =
   List.iter
@@ -136,7 +150,7 @@ let test_corollary_on_corpus () =
    be disjoint as *languages* (two paths can emit the same trace), but every
    returned regex must be included in infer(p). *)
 let prop_returned_included =
-  qtest "returned behaviors included in infer" ~count:200 prog_gen_large ~print:prog_print
+  qtest_arb "returned behaviors included in infer" ~count:200 prog_arb
     (fun p ->
       let d = Infer.denote p in
       let whole = Infer.infer p in
@@ -148,8 +162,9 @@ let () =
     [
       ( "bounded-exhaustive",
         [
-          Alcotest.test_case "all programs ≤ size 4" `Slow test_exhaustive_small;
-          Alcotest.test_case "status split ≤ size 4" `Slow test_exhaustive_small_split;
+          Alcotest.test_case "all programs ≤ size 6" `Slow test_exhaustive_small;
+          Alcotest.test_case "status split ≤ size 6" `Slow test_exhaustive_small_split;
+          Alcotest.test_case "three-letter alphabet" `Slow test_exhaustive_tri;
           Alcotest.test_case "named corpus" `Quick test_corpus;
           Alcotest.test_case "paper loop language" `Quick test_paper_loop_language;
           Alcotest.test_case "corollary on corpus" `Quick test_corollary_on_corpus;

@@ -74,6 +74,29 @@ let default_prog_gen = prog_gen_over Prog_gen.default_alphabet
 let prog_print p = Prog.to_string p
 let prog_shrink p = List.to_seq (Prog_gen.shrink p)
 
+(* --- Shrinking arbitraries -------------------------------------------------- *)
+
+(* The one bridge between the QCheck2 generators above and QCheck1
+   arbitraries: qcheck1 is the API that takes an *explicit* shrinker, which
+   is what lets every suite reuse [regex_shrink] / [Prog_gen.shrink] instead
+   of growing its own. [QCheck.pair]/[triple] compose shrinkers (and
+   printers), so counterexamples over tuples shrink component-wise for
+   free. *)
+let arbitrary ?print ~shrink gen2 =
+  QCheck.make ?print
+    ~shrink:(fun x yield -> Seq.iter yield (shrink x))
+    (fun st -> QCheck2.Gen.generate1 ~rand:st gen2)
+
+let regex_arb_over alphabet =
+  arbitrary ~print:regex_print ~shrink:regex_shrink (regex_gen_over alphabet)
+
+let regex_arb = regex_arb_over Prog_gen.default_alphabet
+
+let prog_arb_over alphabet =
+  arbitrary ~print:prog_print ~shrink:prog_shrink (prog_gen_over alphabet)
+
+let prog_arb = prog_arb_over Prog_gen.default_alphabet
+
 (* --- Alcotest helpers ------------------------------------------------------ *)
 
 let trace_set = Alcotest.testable Trace.pp_set Trace.Set.equal
@@ -82,6 +105,12 @@ let regex = Alcotest.testable Regex.pp Regex.equal
 
 let qtest ?(count = 200) name gen ~print prop =
   QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ~print gen prop)
+
+(* Like {!qtest} but over a shrinking arbitrary ({!regex_arb}, {!prog_arb},
+   or a [QCheck.pair]/[triple] of them), so a failing case is reported
+   minimal. *)
+let qtest_arb ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb prop)
 
 (* Restrict trace-set to words over an alphabet bound — used when comparing
    enumerations computed over different alphabets. *)
