@@ -209,13 +209,14 @@ let check_cmd =
   let run files warnings explain lint using max_states fuel jobs timeout fault_injection
       cache_dir stats metrics_out trace_out =
     Checker.fault_injection := fault_injection;
-    let extra_env =
-      match Model_io.env_of_files using with
-      | Ok env -> env
-      | Error msg ->
-        prerr_endline msg;
-        exit 2
-    in
+    (* Validate --using up front: a broken model file is a usage error (exit
+       2, one message), not N per-file failures. The workers rebuild the
+       environment themselves from the validated paths. *)
+    (match Model_io.env_of_files using with
+    | Ok _ -> ()
+    | Error msg ->
+      prerr_endline msg;
+      exit 2);
     let cache = open_cache cache_dir in
     (* The --using models shape verdicts, so their contents are key
        material: a re-exported substrate model invalidates every entry that
@@ -247,7 +248,7 @@ let check_cmd =
        with the maximum. Checker renders per-file blocks in the workers and
        replays them here in input order. *)
     let verdicts =
-      Checker.check_files ~jobs ~limits ~warnings ~explain ~lint ~extra_env ?cache
+      Checker.check_files ~jobs ~limits ~warnings ~explain ~lint ~using ?cache
         ~cache_extra files
     in
     List.iter (fun (v : Checker.verdict) -> print_string v.Checker.output) verdicts;
@@ -941,6 +942,194 @@ let cache_cmd =
           --cache').")
     [ stats_cmd; gc_cmd; clear_cmd ]
 
+(* --- serve / client --------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path of the verification daemon.")
+
+let serve_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Width of the persistent worker pool shared by all requests.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Default per-file wall-clock deadline for requests that do \
+                not set their own $(b,timeout) parameter.")
+  in
+  let idle_reap =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-reap" ] ~docv:"SECONDS"
+          ~doc:"Retire pool workers (and flush deferred cache stores) after \
+                this much request silence; the next request respawns them.")
+  in
+  let fault_injection =
+    Arg.(
+      value & flag
+      & info [ "fault-injection" ]
+          ~doc:
+            "Testing only: arm the SHELLEY_FAULT fault-injection seam \
+             (worker crashes, wedges, garbage frames, fork failures) in \
+             this daemon and its workers.")
+  in
+  let run socket jobs timeout idle_reap cache_dir metrics_out fault_injection =
+    Checker.fault_injection := fault_injection;
+    if metrics_out <> None then Obs.enable ();
+    let cache = open_cache cache_dir in
+    exit
+      (Serve.serve ~socket ~jobs ?cache ?default_timeout:timeout ~idle_reap
+         ?metrics_out ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived verification daemon: newline-delimited JSON-RPC \
+          ($(b,check), $(b,lint), $(b,status), $(b,shutdown)) over a Unix \
+          socket, multiplexing every request over one supervised persistent \
+          worker pool. SIGTERM/SIGINT drain gracefully: in-flight requests \
+          finish, cache stores flush, workers are reaped, exit 0."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"graceful shutdown (request or signal).";
+           Cmd.Exit.info 2 ~doc:"the socket could not be created.";
+         ])
+    Term.(
+      const run $ socket_arg $ jobs $ timeout $ idle_reap $ cache_arg
+      $ metrics_out_arg $ fault_injection)
+
+let client_cmd =
+  let meth =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("check", `Check); ("lint", `Lint); ("status", `Status); ("shutdown", `Shutdown) ])) None
+      & info [] ~docv:"METHOD"
+          ~doc:"One of $(b,check), $(b,lint), $(b,status), $(b,shutdown).")
+  in
+  let files = Arg.(value & pos_right 0 string [] & info [] ~docv:"FILE") in
+  let warnings =
+    Arg.(value & flag & info [ "warnings" ] ~doc:"check: include warning-level reports.")
+  in
+  let explain =
+    Arg.(value & flag & info [ "explain" ] ~doc:"check: narrate counterexamples.")
+  in
+  let lint =
+    Arg.(value & flag & info [ "lint" ] ~doc:"check: also run the lint pass.")
+  in
+  let using =
+    Arg.(
+      value & opt_all string []
+      & info [ "using" ] ~docv:"MODEL" ~doc:"check: model files to pre-load.")
+  in
+  let timeout =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-file wall-clock deadline.")
+  in
+  let format =
+    Arg.(
+      value & opt (some string) None
+      & info [ "format" ] ~docv:"FMT" ~doc:"lint: text, json or sarif.")
+  in
+  let run socket meth files warnings explain lint using timeout format =
+    let params =
+      let open Jsonl in
+      let base =
+        match meth with
+        | `Check ->
+          [
+            ("files", Arr (List.map (fun f -> Str f) files));
+            ("warnings", Bool warnings);
+            ("explain", Bool explain);
+            ("lint", Bool lint);
+            ("using", Arr (List.map (fun f -> Str f) using));
+          ]
+        | `Lint -> (
+          [ ("files", Arr (List.map (fun f -> Str f) files)) ]
+          @ match format with Some f -> [ ("format", Str f) ] | None -> [])
+        | `Status | `Shutdown -> []
+      in
+      base @ match timeout with Some t -> [ ("timeout", Num t) ] | None -> []
+    in
+    let method_name =
+      match meth with
+      | `Check -> "check"
+      | `Lint -> "lint"
+      | `Status -> "status"
+      | `Shutdown -> "shutdown"
+    in
+    let request =
+      Jsonl.(
+        Obj
+          [
+            ("id", Num 1.); ("method", Str method_name); ("params", Obj params);
+          ])
+    in
+    match Serve.client_call ~socket (Jsonl.to_string request) with
+    | Error msg ->
+      prerr_endline ("shelley client: " ^ msg);
+      exit 2
+    | Ok line -> (
+      match Jsonl.parse line with
+      | Error msg ->
+        prerr_endline ("shelley client: unparseable response: " ^ msg);
+        exit 2
+      | Ok resp -> (
+        match Jsonl.mem_str "error" resp with
+        | Some msg ->
+          prerr_endline msg;
+          let code =
+            match Jsonl.mem_num "code" resp with
+            | Some f -> int_of_float f
+            | None -> 2
+          in
+          exit code
+        | None -> (
+          match Jsonl.member "result" resp with
+          | None ->
+            prerr_endline "shelley client: malformed response";
+            exit 2
+          | Some result -> (
+            match Jsonl.mem_str "output" result with
+            | Some output ->
+              (* check / lint: replay the one-shot stdout byte-for-byte and
+                 exit with the one-shot code. *)
+              print_string output;
+              let code =
+                match Jsonl.mem_num "code" result with
+                | Some f -> int_of_float f
+                | None -> 0
+              in
+              if code <> 0 then exit code
+            | None ->
+              (* status / shutdown: print the result object as one line. *)
+              print_endline (Jsonl.to_string result)))))
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send one request to a running $(b,shelley serve) daemon and print \
+          the response: check/lint replay the one-shot CLI's stdout and exit \
+          code byte-for-byte; status/shutdown print the raw JSON result."
+       ~exits:
+         [
+           Cmd.Exit.info 0 ~doc:"request succeeded.";
+           Cmd.Exit.info 2 ~doc:"connection or protocol failure.";
+         ])
+    Term.(
+      const run $ socket_arg $ meth $ files $ warnings $ explain $ lint $ using
+      $ timeout $ format)
+
 let main_cmd =
   let doc = "Shelley-style model inference and checking for MicroPython (DSN-W 2023)." in
   Cmd.group
@@ -949,6 +1138,8 @@ let main_cmd =
       export_cmd;
       check_cmd;
       lint_cmd;
+      serve_cmd;
+      client_cmd;
       cache_cmd;
       model_cmd;
       viz_cmd;

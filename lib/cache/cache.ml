@@ -12,7 +12,12 @@
    truncation and bit rot classify as corruption, never as a crash or a
    wrong value. *)
 
-type t = { root : string }
+type t = {
+  root : string;
+  (* [Some pending]: deferred-write mode — stores buffer here (newest first)
+     until [flush]. [None]: classic write-through. *)
+  mutable deferred : (string * string) list option;
+}
 
 let tool_version = "1.0.0"
 let format_version = 1
@@ -43,7 +48,7 @@ let open_dir root =
     mkdir_if_missing root
     || (mkdir_if_missing (Filename.dirname root) && mkdir_if_missing root)
   in
-  if ok then Ok { root }
+  if ok then Ok { root; deferred = None }
   else Error (Printf.sprintf "cannot open cache directory %s" root)
 
 (* Length-prefixed concatenation: part boundaries survive, so ["ab"; "c"]
@@ -104,6 +109,23 @@ let read_entry path =
 
 let find t key =
   Obs.Span.run "cache.lookup" @@ fun () ->
+  let pending_hit =
+    match t.deferred with
+    | None -> None
+    | Some pending -> List.assoc_opt key pending
+  in
+  match pending_hit with
+  | Some payload -> (
+    match Marshal.from_string payload 0 with
+    | value ->
+      Obs.count_stable "cache.hits" 1;
+      Obs.count_stable "cache.bytes_read" (String.length payload);
+      Some value
+    | exception _ ->
+      Obs.count_stable "cache.corrupt_entries" 1;
+      Obs.count_stable "cache.misses" 1;
+      None)
+  | None ->
   let path = entry_path t key in
   if not (Sys.file_exists path) then begin
     Obs.count_stable "cache.misses" 1;
@@ -137,12 +159,10 @@ let find t key =
       Obs.count_stable "cache.misses" 1;
       None
 
-let store t key value =
-  Obs.Span.run "cache.store" @@ fun () ->
+let write_entry t key payload =
   let path = entry_path t key in
   let attempt () =
     if not (mkdir_if_missing (Filename.dirname path)) then failwith "mkdir";
-    let payload = Marshal.to_string value [] in
     let tmp =
       Printf.sprintf "%s.tmp-%d-%s" (Filename.chop_suffix path ".entry")
         (Unix.getpid ()) key
@@ -170,6 +190,38 @@ let store t key value =
   match attempt () with
   | () -> ()
   | exception _ -> Obs.count "cache.store_failures" 1
+
+let store t key value =
+  Obs.Span.run "cache.store" @@ fun () ->
+  let payload = Marshal.to_string value [] in
+  match t.deferred with
+  | Some pending ->
+    t.deferred <- Some ((key, payload) :: pending);
+    Obs.count "cache.deferred_stores" 1
+  | None -> write_entry t key payload
+
+let defer_writes t =
+  match t.deferred with
+  | Some _ -> ()
+  | None -> t.deferred <- Some []
+
+let flush t =
+  match t.deferred with
+  | None -> 0
+  | Some pending ->
+    (* Newest-first: the first occurrence of a key is the latest store. *)
+    let seen = Hashtbl.create 16 in
+    let written = ref 0 in
+    List.iter
+      (fun (key, payload) ->
+        if not (Hashtbl.mem seen key) then begin
+          Hashtbl.add seen key ();
+          write_entry t key payload;
+          incr written
+        end)
+      pending;
+    t.deferred <- Some [];
+    !written
 
 (* --- maintenance ------------------------------------------------------------ *)
 

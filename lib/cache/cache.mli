@@ -68,6 +68,20 @@ val store : t -> string -> 'a -> unit
     a slow cache, not a broken run. Values must be marshal-safe (no
     closures, no custom blocks, no interned symbols). Never raises. *)
 
+val defer_writes : t -> unit
+(** Switch the handle into deferred-write mode: subsequent {!store}s buffer
+    in memory (counted under [cache.deferred_stores]) until {!flush} writes
+    them to disk. {!find} consults the pending buffer first, so a deferred
+    store is immediately visible through the same handle. The daemon defers
+    its stores and flushes at drain time — one fsync-ish burst on shutdown
+    instead of disk traffic on the request path. Idempotent. *)
+
+val flush : t -> int
+(** Write every pending deferred store (atomically, latest store per key
+    wins) and return how many entries were written. [0] when the handle is
+    write-through or nothing is pending. Stays in deferred mode. Failures
+    are counted and swallowed, as for {!store}. *)
+
 (** {1 Maintenance} *)
 
 type stats = {

@@ -11,8 +11,10 @@ type verdict = {
    an explicit in-process opt-in ([fault_injection], set by the hidden
    --fault-injection flag or directly by tests): a stale SHELLEY_FAULT
    variable inherited from some test environment must never be able to
-   sabotage a real verification run on its own. *)
-let fault_injection = ref false
+   sabotage a real verification run on its own. The ref itself lives in
+   {!Supervisor} so the process-plumbing faults (garbage / wedge /
+   forkfail) share the same master switch. *)
+let fault_injection = Supervisor.fault_injection
 
 let fault_hook path =
   if not !fault_injection then ()
@@ -41,6 +43,7 @@ let fault_hook path =
                    Unix.sleepf 0.05
                  done
                | "crash" -> Unix.kill (Unix.getpid ()) Sys.sigkill
+               | "slow" -> Unix.sleepf 1.0
                | _ -> ())
 
 let read_file path =
@@ -256,9 +259,178 @@ let annotate ~cache ~key_of ~hit_of paths =
           | None -> (path, None, Some key))))
     paths
 
+(* --- The pooled job engine --------------------------------------------------
+
+   One marshal-safe job type covers both modes, so a single persistent
+   {!Supervisor} pool (and a single long-running daemon) serves check and
+   lint requests alike. [Limits.t] holds a mutable ledger and [Usage.env]
+   is a closure — neither crosses a pipe — so a job carries the raw budget
+   numbers and the [--using] paths instead, and the worker rebuilds both. *)
+
+type job_mode =
+  | Job_check of {
+      warnings : bool;
+      explain : bool;
+      lint : bool;
+    }
+  | Job_lint of {
+      max_behavior_size : int;
+      max_star_height : int;
+    }
+
+type job_spec = {
+  job_path : string;
+  job_mode : job_mode;
+  job_max_states : int;
+  job_max_configs : int;
+  job_max_regex_size : int;
+  job_reduced : bool;  (* second attempt: rebuild under Limits.reduced *)
+  job_using : string list;
+}
+
+type job_result = {
+  jr_output : string;  (* rendered block (check mode), "" for lint *)
+  jr_code : int;
+  jr_lint : Lint.file_result option;
+  jr_profile : Obs.profile option;
+}
+
+(* Workers are persistent, so the [--using] environment is rebuilt at most
+   once per (paths, content digests) — a daemon picks up edits to a model
+   file between requests, while a batch pays the parse once. *)
+let using_memo : (string, Usage.env) Hashtbl.t = Hashtbl.create 4
+
+let env_of_using = function
+  | [] -> fun _ -> None
+  | paths -> (
+    let digest p =
+      match Digest.to_hex (Digest.file p) with
+      | d -> d
+      | exception Sys_error _ -> "unreadable"
+    in
+    let key = String.concat "\x00" (List.map (fun p -> p ^ "#" ^ digest p) paths) in
+    match Hashtbl.find_opt using_memo key with
+    | Some env -> env
+    | None ->
+      let env =
+        match Model_io.env_of_files paths with
+        | Ok env -> env
+        | Error _ ->
+          (* The CLI validates --using before any job runs; reaching this
+             means the file broke between validation and execution. An
+             empty environment keeps the job total — missing methods then
+             surface as ordinary verification reports. *)
+          fun _ -> None
+      in
+      Hashtbl.add using_memo key env;
+      env)
+
+let job_limits (j : job_spec) =
+  let l =
+    Limits.make ~max_states:j.job_max_states ~max_configs:j.job_max_configs
+      ~max_regex_size:j.job_max_regex_size ()
+  in
+  if j.job_reduced then Limits.reduced l else l
+
+(* The worker function fixed into every pool at fork time. Each job runs
+   inside its own [Obs] unit with a fresh ledger, so a worker's 1000th task
+   profiles exactly like its first. *)
+let run_job (j : job_spec) : job_result =
+  let limits = job_limits j in
+  match j.job_mode with
+  | Job_check { warnings; explain; lint } ->
+    let extra_env = env_of_using j.job_using in
+    let (output, code), profile =
+      Obs.in_unit ~name:j.job_path (fun () ->
+          check_file_raw ~limits ~warnings ~explain ~lint ~extra_env j.job_path)
+    in
+    { jr_output = output; jr_code = code; jr_lint = None; jr_profile = profile }
+  | Job_lint { max_behavior_size; max_star_height } ->
+    fault_hook j.job_path;
+    let thresholds = { Lint_semantic.max_behavior_size; max_star_height } in
+    let result, profile =
+      Obs.in_unit ~name:j.job_path (fun () -> Lint.lint_path ~limits ~thresholds j.job_path)
+    in
+    { jr_output = ""; jr_code = 0; jr_lint = Some result; jr_profile = profile }
+
+type pool = (job_spec, job_result) Supervisor.t
+
+let make_pool ?after_fork ?(jobs = 1) () =
+  Supervisor.create ?after_fork
+    ~label:(fun j -> j.job_path)
+    (Supervisor.config ~jobs ())
+    run_job
+
+let pool_stats = Supervisor.stats
+let pool_worker_pids = Supervisor.worker_pids
+let quiesce_pool = Supervisor.quiesce
+let shutdown_pool = Supervisor.shutdown
+
+(* The reduced-budget second attempt is the same task transformed, because
+   the worker function is fixed at fork time. *)
+let retry_spec j = { j with job_reduced = true }
+
+(* In-process fast path for [jobs <= 1] with no deadline and no pool: same
+   settle/retry semantics as the pool, no forks at all. *)
+let settle_inline spec =
+  let attempt s n : job_result Supervisor.settled =
+    match run_job s with
+    | r -> { Supervisor.outcome = Supervisor.Done r; lane = 0; attempts = n }
+    | exception exn ->
+      {
+        Supervisor.outcome =
+          Supervisor.Crashed { reason = Printexc.to_string exn; attempts = n };
+        lane = 0;
+        attempts = n;
+      }
+  in
+  match attempt spec 1 with
+  | { Supervisor.outcome = Supervisor.Done _; _ } as s -> s
+  | _ -> attempt (retry_spec spec) 2
+
+let run_specs ?pool ~jobs ~(limits : Limits.t) specs =
+  match pool with
+  | Some p -> Supervisor.run ~retry:retry_spec ?deadline:limits.Limits.deadline p specs
+  | None ->
+    if jobs <= 1 && limits.Limits.deadline = None then List.map settle_inline specs
+    else begin
+      let p = make_pool ~jobs () in
+      Fun.protect
+        ~finally:(fun () -> Supervisor.shutdown p)
+        (fun () ->
+          Supervisor.run ~retry:retry_spec ?deadline:limits.Limits.deadline p specs)
+    end
+
+(* Stores happen in the orchestrator, after the pool settles: a result is
+   stored only when its {e first} attempt succeeded — the reduced-budget
+   retry answers a smaller-fuel question than the key was composed for.
+   (Workers cannot store: a persistent worker's cwd-relative cache handle
+   could go stale, and crashed/timed-out units must never be stored.) *)
+let store_settled ~cache ~payload_of misses settled =
+  match cache with
+  | None -> ()
+  | Some c ->
+    List.iter2
+      (fun (_path, key) (s : job_result Supervisor.settled) ->
+        match (key, s.Supervisor.outcome, s.Supervisor.attempts) with
+        | Some k, Supervisor.Done jr, 1 -> (
+          match payload_of jr with
+          | Some payload -> Cache.store c k payload
+          | None -> ())
+        | _ -> ())
+      misses settled
+
+let misses_of annotated =
+  List.filter_map
+    (fun (path, hit, key) ->
+      match hit with
+      | Some _ -> None
+      | None -> Some (path, key))
+    annotated
+
 let check_files ?(jobs = 1) ?(limits = Limits.default) ?(warnings = false)
-    ?(explain = false) ?(lint = false) ?(extra_env = fun _ -> None) ?cache
-    ?(cache_extra = []) paths =
+    ?(explain = false) ?(lint = false) ?(using = []) ?pool ?cache ?(cache_extra = [])
+    paths =
   let annotated =
     annotate ~cache
       ~key_of:(check_cache_key ~limits ~warnings ~explain ~lint ~extra:cache_extra)
@@ -268,47 +440,30 @@ let check_files ?(jobs = 1) ?(limits = Limits.default) ?(warnings = false)
         | Cached_lint _ -> None)
       paths
   in
-  let misses =
-    List.filter_map
-      (fun (path, hit, key) ->
-        match hit with
-        | Some _ -> None
-        | None -> Some (path, key))
-      annotated
+  let misses = misses_of annotated in
+  let spec (path, _key) =
+    {
+      job_path = path;
+      job_mode = Job_check { warnings; explain; lint };
+      job_max_states = limits.Limits.max_states;
+      job_max_configs = limits.Limits.max_configs;
+      job_max_regex_size = limits.Limits.max_regex_size;
+      job_reduced = false;
+      job_using = using;
+    }
   in
-  (* Workers send back (output, code, profile) only: plain marshal-safe
-     data. The verdict's [path] is re-attached from the input list, which
-     also keeps aggregation in input order. *)
-  let payload (path, key) =
-    let after output code =
-      match (cache, key) with
-      | Some c, Some k -> Cache.store c k (Cached_check { output; code })
-      | _ -> ()
-    in
-    let v = check_file_with ~limits ~warnings ~explain ~lint ~extra_env ~after path in
-    (v.output, v.code, v.profile)
-  in
-  let retry_payload (path, _key) =
-    (* The reduced-budget retry answers a smaller-fuel question than the key
-       was composed for, so its result is never stored. *)
-    let v =
-      check_file ~limits:(Limits.reduced limits) ~warnings ~explain ~lint ~extra_env
-        path
-    in
-    (v.output, v.code, v.profile)
-  in
-  let outcomes =
-    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline ~retry:retry_payload
-      ~f:payload misses
-  in
+  let settled = run_specs ?pool ~jobs ~limits (List.map spec misses) in
+  store_settled ~cache
+    ~payload_of:(fun jr -> Some (Cached_check { output = jr.jr_output; code = jr.jr_code }))
+    misses settled;
   let of_outcome path outcome lane =
     match outcome with
-    | Runner.Done (output, code, profile) ->
+    | Supervisor.Done jr ->
       (* Merge the worker's profile into the parent recorder under its pool
          lane; the sinks then see one timeline row per worker. *)
-      Option.iter (Obs.add_unit ~lane) profile;
-      { path; output; code; profile }
-    | Runner.Timed_out { seconds; attempts } ->
+      Option.iter (Obs.add_unit ~lane) jr.jr_profile;
+      { path; output = jr.jr_output; code = jr.jr_code; profile = jr.jr_profile }
+    | Supervisor.Timed_out { seconds; attempts } ->
       Obs.count "checker.timeout_units" 1;
       {
         path;
@@ -316,7 +471,7 @@ let check_files ?(jobs = 1) ?(limits = Limits.default) ?(warnings = false)
         code = 3;
         profile = None;
       }
-    | Runner.Crashed { reason; attempts } ->
+    | Supervisor.Crashed { reason; attempts } ->
       Obs.count "checker.crashed_units" 1;
       {
         path;
@@ -326,30 +481,18 @@ let check_files ?(jobs = 1) ?(limits = Limits.default) ?(warnings = false)
         profile = None;
       }
   in
-  merge_outcomes ~of_outcome annotated outcomes
+  merge_outcomes ~of_outcome annotated
+    (List.map (fun (s : _ Supervisor.settled) -> (s.Supervisor.outcome, s.Supervisor.lane)) settled)
 
 let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts
 
 (* --- Parallel linting -------------------------------------------------------
 
-   Same worker-pool shape as [check_files]: the payload is a
-   [Lint.file_result] — plain strings, ints and a small variant, so it
-   marshals across the result pipe — plus the unit's [Obs] profile. Results
-   are replayed in input order, so lint output is byte-identical for any
-   [-j] level. *)
-
-let lint_file_with ?limits ?thresholds ~after path =
-  fault_hook path;
-  let result, profile =
-    Obs.in_unit ~name:path (fun () ->
-        let r = Lint.lint_path ?limits ?thresholds path in
-        after r;
-        r)
-  in
-  (result, profile)
-
-let lint_file ?limits ?thresholds path =
-  lint_file_with ?limits ?thresholds ~after:(fun _ -> ()) path
+   Same pooled engine as [check_files]: the job carries the lint thresholds,
+   the result carries a [Lint.file_result] — plain strings, ints and a small
+   variant, so it marshals across the worker pipe — plus the unit's [Obs]
+   profile. Results are replayed in input order, so lint output is
+   byte-identical for any [-j] level. *)
 
 let engine_result path (rule : Rules.t) message =
   {
@@ -369,54 +512,59 @@ let engine_result path (rule : Rules.t) message =
     suppressed = [];
   }
 
-let lint_files ?(jobs = 1) ?(limits = Limits.default) ?thresholds ?cache
-    ?(cache_extra = []) paths =
+let lint_files ?(jobs = 1) ?(limits = Limits.default)
+    ?(thresholds = Lint_semantic.default_thresholds) ?pool ?cache ?(cache_extra = [])
+    paths =
   let annotated =
     annotate ~cache
-      ~key_of:(lint_cache_key ~limits ?thresholds ~extra:cache_extra)
+      ~key_of:(lint_cache_key ~limits ~thresholds ~extra:cache_extra)
       ~hit_of:(fun _path payload ->
         match payload with
         | Cached_lint result -> Some result
         | Cached_check _ -> None)
       paths
   in
-  let misses =
-    List.filter_map
-      (fun (path, hit, key) ->
-        match hit with
-        | Some _ -> None
-        | None -> Some (path, key))
-      annotated
+  let misses = misses_of annotated in
+  let spec (path, _key) =
+    {
+      job_path = path;
+      job_mode =
+        Job_lint
+          {
+            max_behavior_size = thresholds.Lint_semantic.max_behavior_size;
+            max_star_height = thresholds.Lint_semantic.max_star_height;
+          };
+      job_max_states = limits.Limits.max_states;
+      job_max_configs = limits.Limits.max_configs;
+      job_max_regex_size = limits.Limits.max_regex_size;
+      job_reduced = false;
+      job_using = [];
+    }
   in
-  let payload (path, key) =
-    let after result =
-      match (cache, key) with
-      | Some c, Some k -> Cache.store c k (Cached_lint result)
-      | _ -> ()
-    in
-    lint_file_with ~limits ?thresholds ~after path
-  in
-  let retry_payload (path, _key) =
-    lint_file ~limits:(Limits.reduced limits) ?thresholds path
-  in
-  let outcomes =
-    Runner.map_ex ~jobs ?deadline:limits.Limits.deadline ~retry:retry_payload
-      ~f:payload misses
-  in
+  let settled = run_specs ?pool ~jobs ~limits (List.map spec misses) in
+  store_settled ~cache
+    ~payload_of:(fun jr -> Option.map (fun r -> Cached_lint r) jr.jr_lint)
+    misses settled;
   let of_outcome path outcome lane =
     match outcome with
-    | Runner.Done (result, profile) ->
-      Option.iter (Obs.add_unit ~lane) profile;
-      result
-    | Runner.Timed_out { seconds; attempts } ->
+    | Supervisor.Done jr -> (
+      Option.iter (Obs.add_unit ~lane) jr.jr_profile;
+      match jr.jr_lint with
+      | Some result -> result
+      | None ->
+        (* A check-mode result under a lint job is impossible by
+           construction of [run_job]. *)
+        engine_result path Rules.rule_internal_error "lint worker returned no result")
+    | Supervisor.Timed_out { seconds; attempts } ->
       Obs.count "checker.timeout_units" 1;
       engine_result path Rules.rule_resource_limit
         (Printf.sprintf "linting exceeded the %gs wall-clock deadline (%d attempts)"
            seconds attempts)
-    | Runner.Crashed { reason; attempts } ->
+    | Supervisor.Crashed { reason; attempts } ->
       Obs.count "checker.crashed_units" 1;
       engine_result path Rules.rule_internal_error
         (Printf.sprintf "lint worker died without a result: %s (%d attempts)" reason
            attempts)
   in
-  merge_outcomes ~of_outcome annotated outcomes
+  merge_outcomes ~of_outcome annotated
+    (List.map (fun (s : _ Supervisor.settled) -> (s.Supervisor.outcome, s.Supervisor.lane)) settled)

@@ -1,9 +1,10 @@
 (** Parallel, fault-isolated driving of the verification pipeline over
-    files — the engine behind [shelley check -j N --timeout S].
+    files — the engine behind [shelley check -j N --timeout S] and the
+    [shelley serve] daemon.
 
-    Each file is one verification unit: a worker process parses, extracts
-    and checks it ({!Pipeline.verify_source}) and sends back the fully
-    rendered report block plus the per-file exit code. Because workers
+    Each file is one verification unit: a {!Supervisor} pool worker parses,
+    extracts and checks it ({!Pipeline.verify_source}) and sends back the
+    fully rendered report block plus the per-file exit code. Because workers
     return {e rendered text} (not interned symbols or models, which are not
     stable across process boundaries), the parent only concatenates blocks
     in input order — so the aggregate output is byte-identical for
@@ -51,43 +52,81 @@ val check_file :
     With linting off the output is byte-identical to what [check] has
     always printed. *)
 
+type pool
+(** A persistent {!Supervisor} worker pool able to serve both {!check_files}
+    and {!lint_files} jobs. One pool can outlive any number of calls — the
+    daemon keeps a single pool across requests so workers stay hot. *)
+
+val make_pool : ?after_fork:(unit -> unit) -> ?jobs:int -> unit -> pool
+(** Build a pool of [jobs] (default 1) persistent workers. Workers are
+    forked lazily on first use; [after_fork] runs in each child right after
+    the fork (the daemon closes its listening socket there). *)
+
+val pool_stats : pool -> Supervisor.stats
+val pool_worker_pids : pool -> int list
+
+val quiesce_pool : pool -> unit
+(** Retire the pool's live workers but keep it usable — the next call
+    respawns on demand. The daemon calls this after an idle period. *)
+
+val shutdown_pool : pool -> unit
+(** Retire the workers and close the pool. Idempotent; a closed pool still
+    completes calls by running jobs in-process. *)
+
 val check_files :
   ?jobs:int ->
   ?limits:Limits.t ->
   ?warnings:bool ->
   ?explain:bool ->
   ?lint:bool ->
-  ?extra_env:Usage.env ->
+  ?using:string list ->
+  ?pool:pool ->
   ?cache:Cache.t ->
   ?cache_extra:string list ->
   string list ->
   verdict list
-(** All files, in input order, through a {!Runner} pool of [jobs] workers
-    (default 1) with [limits.deadline] as the per-unit wall clock. With
-    [jobs <= 1] and no deadline this degenerates to {!check_file} in-process.
+(** All files, in input order, through a persistent {!Supervisor} pool of
+    [jobs] workers (default 1) with [limits.deadline] as the per-unit wall
+    clock (enforced externally by the supervisor, per attempt). With
+    [jobs <= 1], no deadline and no [?pool] the files run in-process with
+    identical settle/retry semantics and no forks at all. With [?pool] the
+    caller's pool is used (and kept open), [jobs] is ignored in favor of
+    the pool's width, and [limits.deadline] applies per call — this is how
+    the daemon multiplexes requests over one pool.
+
+    [?using] names model files whose exported environment
+    ({!Model_io.env_of_files}) augments verification; workers rebuild and
+    memoize it by path + content digest, so a long-lived worker notices
+    edits between requests. Unreadable or broken [--using] files should be
+    rejected by the caller up front (the CLI exits 2); a file that breaks
+    {e after} that validation degrades to an empty environment rather than
+    crashing the unit.
 
     With [?cache], every readable file is first looked up under its
     {!check_cache_key} (computed in the orchestrator, so an entry is read
     once however many workers run); hits yield their stored verdict without
-    forking a worker or running {!fault_hook}, misses run as usual and the
-    {e worker} stores the rendered result atomically before exiting, so a
-    warm rerun is byte-identical to the cold run at any [jobs] level.
-    Timed-out and crashed units are never stored (their blocks are built in
-    the parent), and the reduced-budget retry's result is never stored (it
-    answers a smaller-fuel question than the key describes). [cache_extra]
-    carries key material only the caller knows — the CLI passes the digests
-    of every [--using] model file, since those shape verdicts too.
+    running a worker or {!fault_hook}, misses run as usual and the
+    orchestrator stores each rendered result after the pool settles — but
+    only results whose {e first} attempt succeeded: timed-out and crashed
+    units are never stored, and a success on the reduced-budget retry is
+    not stored either (it answers a smaller-fuel question than the key
+    describes). Store-on-settle is also what makes the daemon's graceful
+    drain safe: finished units are persisted by the orchestrator even if a
+    worker dies later. A warm rerun is byte-identical to the cold run at
+    any [jobs] level. [cache_extra] carries key material only the caller
+    knows — the CLI passes the digests of every [--using] model file, since
+    those shape verdicts too.
 
     When the {!Obs} recorder is enabled, each completed unit's profile
-    (captured inside the worker and marshaled back with the verdict) is
-    merged into the parent recorder under the worker's pool lane
-    ({!Runner.map_ex}), timed-out / crashed units are tallied under
-    [checker.timeout_units] / [checker.crashed_units], and cache behavior
-    appears as [cache.hits] / [cache.misses] / [cache.stale_evictions] /
-    [cache.corrupt_entries] / [cache.bytes_read] (stable orchestrator
-    counters) plus [cache.bytes_written] inside each storing unit's profile.
-    Observability never touches [output]: report text stays byte-identical
-    with it on or off. *)
+    (captured inside the worker and marshaled back with the result) is
+    merged into the parent recorder under the worker's pool lane,
+    timed-out / crashed units are tallied under [checker.timeout_units] /
+    [checker.crashed_units], and cache behavior appears as [cache.hits] /
+    [cache.misses] / [cache.stale_evictions] / [cache.corrupt_entries] /
+    [cache.bytes_read] (stable orchestrator counters) plus
+    [cache.bytes_written] tallied at store time. Observability never
+    touches [output]: report text stays byte-identical with it on or
+    off. *)
 
 val check_cache_key :
   ?limits:Limits.t ->
@@ -128,13 +167,14 @@ val lint_files :
   ?jobs:int ->
   ?limits:Limits.t ->
   ?thresholds:Lint_semantic.thresholds ->
+  ?pool:pool ->
   ?cache:Cache.t ->
   ?cache_extra:string list ->
   string list ->
   Lint.file_result list
 (** All files through the lint engine ({!Lint.lint_path}), in input order,
-    using the same {!Runner} worker pool, wall-clock deadline and
-    reduced-budget retry as {!check_files}. [Lint.file_result] is
+    using the same {!Supervisor} worker pool, wall-clock deadline and
+    reduced-budget retry as {!check_files} (including [?pool] reuse). [Lint.file_result] is
     marshal-safe by construction, so it crosses the worker pipe as-is; a
     unit that times out yields one SY090 finding, a crashed worker one
     SY091 finding, and every other file still completes. Output built from
@@ -145,11 +185,12 @@ val lint_files :
     stored payload. *)
 
 val fault_injection : bool ref
-(** Arms {!fault_hook}. Defaults to [false], in which case the hook is
-    inert no matter what the environment says — a stale [SHELLEY_FAULT]
-    variable in a user's shell must not be able to sabotage real runs.
-    Set by the hidden [shelley check --fault-injection] flag and by the
-    fault-isolation tests. *)
+(** Arms {!fault_hook} and the supervisor-level faults — this is the very
+    same ref as {!Supervisor.fault_injection}. Defaults to [false], in
+    which case the hooks are inert no matter what the environment says — a
+    stale [SHELLEY_FAULT] variable in a user's shell must not be able to
+    sabotage real runs. Set by the hidden [shelley check
+    --fault-injection] flag and by the fault-isolation tests. *)
 
 val fault_hook : string -> unit
 (** Test seam for the fault-isolation contract. Only when {!fault_injection}
@@ -157,5 +198,8 @@ val fault_hook : string -> unit
     [KIND:SUBSTR] (comma-separated entries allowed), a checked path
     containing [SUBSTR] misbehaves before parsing: [hang] spins forever
     (exercises the deadline killer), [crash] raises SIGKILL against its own
-    process (exercises crash isolation). Inert in normal operation; ignored
+    process (exercises crash isolation), [slow] sleeps one second and then
+    proceeds normally (gives drain tests an in-flight window). The
+    supervisor-level kinds ([garbage], [wedge], [forkfail]) are documented
+    at {!Supervisor.fault_injection}. Inert in normal operation; ignored
     entries are harmless. *)

@@ -1,0 +1,46 @@
+(** Minimal JSON for the [shelley serve] wire protocol.
+
+    The daemon speaks newline-delimited JSON-RPC over a Unix socket; this
+    module is the self-contained value type, printer and parser it uses (the
+    project deliberately carries no JSON dependency). The printer emits one
+    line — no raw newlines ever appear inside an encoded value, so a frame
+    boundary is always a ['\n'] — and [parse] accepts anything the printer
+    emits plus ordinary interchange JSON (whitespace, nested containers,
+    [\uXXXX] escapes for the Basic Multilingual Plane). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line encoding. Integral floats print without a decimal point
+    ([Num 3.] → ["3"]); strings escape ["\""], ["\\"] and every control
+    character, so the result contains no newline. *)
+
+val parse : string -> (t, string) result
+(** Parse one JSON document (surrounding whitespace allowed; trailing
+    non-whitespace is an error). Never raises. *)
+
+(** {1 Accessors} — each returns [None] on a type mismatch. *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] otherwise. *)
+
+val to_str : t -> string option
+val to_num : t -> float option
+val to_bool : t -> bool option
+val to_list : t -> t list option
+
+val mem_str : string -> t -> string option
+val mem_num : string -> t -> float option
+
+val mem_bool : ?default:bool -> string -> t -> bool
+(** Missing member or type mismatch yields [default] (default [false]). *)
+
+val mem_str_list : string -> t -> string list option
+(** [Some strings] when the member is an array of strings; [None] when
+    absent or otherwise shaped. *)

@@ -1,0 +1,375 @@
+(* The shelley verification daemon. One process owns a persistent
+   Supervisor pool (via Checker) and a Unix-domain listening socket;
+   requests are newline-delimited JSON-RPC, answered strictly in arrival
+   order through the shared pool. The protocol handler is pure string ->
+   string (handle_line), so unit tests drive it without any socket. *)
+
+type state = {
+  pool : Checker.pool;
+  cache : Cache.t option;
+  default_timeout : float option;
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let make_state ?after_fork ?cache ?default_timeout ~jobs () =
+  Option.iter Cache.defer_writes cache;
+  {
+    pool = Checker.make_pool ?after_fork ~jobs ();
+    cache;
+    default_timeout;
+    requests = 0;
+    errors = 0;
+  }
+
+let state_pool st = st.pool
+
+let shutdown_state st =
+  Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
+  Checker.shutdown_pool st.pool
+
+(* --- responses -------------------------------------------------------------- *)
+
+let num_i n = Jsonl.Num (float_of_int n)
+let ok_response id fields = Jsonl.Obj [ ("id", id); ("result", Jsonl.Obj fields) ]
+
+let error_response ?(code = 2) id msg =
+  Jsonl.Obj [ ("id", id); ("error", Jsonl.Str msg); ("code", num_i code) ]
+
+(* --- request parameters ----------------------------------------------------- *)
+
+let limits_of_params st params =
+  let d = Limits.default in
+  let int_param key default =
+    match Jsonl.mem_num key params with
+    | Some f -> int_of_float f
+    | None -> default
+  in
+  let deadline =
+    match Jsonl.mem_num "timeout" params with
+    | Some f -> Some f
+    | None -> st.default_timeout
+  in
+  Limits.make
+    ~max_states:(int_param "max_states" d.Limits.max_states)
+    ~max_configs:(int_param "fuel" d.Limits.max_configs)
+    ?deadline ()
+
+let digests paths =
+  List.filter_map
+    (fun path ->
+      match Digest.file path with
+      | d -> Some (Digest.to_hex d)
+      | exception Sys_error _ -> None)
+    paths
+
+let files_of_params params = Jsonl.mem_str_list "files" params
+
+(* --- methods ---------------------------------------------------------------- *)
+
+let do_check st id params =
+  match files_of_params params with
+  | None | Some [] ->
+    error_response id "check: params.files must be a non-empty array of strings"
+  | Some files -> (
+    let using = Option.value (Jsonl.mem_str_list "using" params) ~default:[] in
+    (* Same up-front validation as the one-shot CLI: a broken --using model
+       is one request-level error, not N per-file failures. *)
+    match Model_io.env_of_files using with
+    | Error msg -> error_response id msg
+    | Ok _ ->
+      let warnings = Jsonl.mem_bool "warnings" params in
+      let explain = Jsonl.mem_bool "explain" params in
+      let lint = Jsonl.mem_bool "lint" params in
+      let limits = limits_of_params st params in
+      let verdicts =
+        Checker.check_files ~limits ~warnings ~explain ~lint ~using ~pool:st.pool
+          ?cache:st.cache ~cache_extra:(digests using) files
+      in
+      let code = Checker.exit_code verdicts in
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (v : Checker.verdict) -> Buffer.add_string buf v.Checker.output)
+        verdicts;
+      (* Byte-identity with one-shot stdout includes the success line. *)
+      if code = 0 then Buffer.add_string buf "OK: specification verified\n";
+      ok_response id [ ("output", Jsonl.Str (Buffer.contents buf)); ("code", num_i code) ])
+
+let do_lint st id params =
+  match files_of_params params with
+  | None | Some [] ->
+    error_response id "lint: params.files must be a non-empty array of strings"
+  | Some files -> (
+    let format_name = Option.value (Jsonl.mem_str "format" params) ~default:"text" in
+    match Lint_render.format_of_string format_name with
+    | Error msg -> error_response id msg
+    | Ok format ->
+      let d = Lint_semantic.default_thresholds in
+      let int_param key default =
+        match Jsonl.mem_num key params with
+        | Some f -> int_of_float f
+        | None -> default
+      in
+      let thresholds =
+        {
+          Lint_semantic.max_behavior_size =
+            int_param "max_behavior_size" d.Lint_semantic.max_behavior_size;
+          max_star_height = int_param "max_star_height" d.Lint_semantic.max_star_height;
+        }
+      in
+      let limits = limits_of_params st params in
+      let results =
+        Checker.lint_files ~limits ~thresholds ~pool:st.pool ?cache:st.cache files
+      in
+      ok_response id
+        [
+          ("output", Jsonl.Str (Lint_render.render format results));
+          ("code", num_i (Lint.exit_code results));
+        ])
+
+let do_status st id =
+  let s = Checker.pool_stats st.pool in
+  ok_response id
+    [
+      ("pid", num_i (Unix.getpid ()));
+      ("requests", num_i st.requests);
+      ("errors", num_i st.errors);
+      ( "pool",
+        Jsonl.Obj
+          [
+            ("spawns", num_i s.Supervisor.spawns);
+            ("restarts", num_i s.Supervisor.restarts);
+            ("recycles", num_i s.Supervisor.recycles);
+            ("backoff_waits", num_i s.Supervisor.backoff_waits);
+            ("heartbeat_misses", num_i s.Supervisor.heartbeat_misses);
+            ("kills", num_i s.Supervisor.kills);
+            ("poisoned", num_i s.Supervisor.poisoned);
+            ("fork_failures", num_i s.Supervisor.fork_failures);
+            ("batches", num_i s.Supervisor.batches);
+            ("tasks", num_i s.Supervisor.tasks);
+            ("inline_tasks", num_i s.Supervisor.inline_tasks);
+            ("live_workers", num_i s.Supervisor.live_workers);
+          ] );
+      ( "workers",
+        Jsonl.Arr (List.map num_i (Checker.pool_worker_pids st.pool)) );
+    ]
+
+let handle_line st line =
+  let dispatch () =
+    match Jsonl.parse line with
+    | Error msg ->
+      (error_response Jsonl.Null (Printf.sprintf "bad request: %s" msg), `Continue)
+    | Ok req -> (
+      let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
+      match Jsonl.mem_str "method" req with
+      | None -> (error_response id "missing method", `Continue)
+      | Some m -> (
+        let params = Option.value (Jsonl.member "params" req) ~default:(Jsonl.Obj []) in
+        st.requests <- st.requests + 1;
+        Obs.count "serve.requests" 1;
+        match m with
+        | "check" -> (do_check st id params, `Continue)
+        | "lint" -> (do_lint st id params, `Continue)
+        | "status" -> (do_status st id, `Continue)
+        | "shutdown" -> (ok_response id [ ("ok", Jsonl.Bool true) ], `Shutdown)
+        | m -> (error_response id ("unknown method: " ^ m), `Continue)))
+  in
+  let resp, k =
+    (* The handler must outlive any single request: an unexpected exception
+       becomes an error response on that request, never a dead daemon. *)
+    match dispatch () with
+    | r -> r
+    | exception exn ->
+      (error_response Jsonl.Null ("internal error: " ^ Printexc.to_string exn), `Continue)
+  in
+  (match resp with
+  | Jsonl.Obj fields when List.mem_assoc "error" fields ->
+    st.errors <- st.errors + 1;
+    Obs.count "serve.errors" 1
+  | _ -> ());
+  (Jsonl.to_string resp, k)
+
+(* --- socket plumbing -------------------------------------------------------- *)
+
+let rec write_all fd bytes pos len =
+  if pos < len then
+    match Unix.write fd bytes pos (len - pos) with
+    | k -> write_all fd bytes (pos + k) len
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Buffer.t;
+}
+
+(* Split the buffer's complete lines off, keeping the partial tail. *)
+let take_lines buf =
+  let s = Buffer.contents buf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+    Buffer.clear buf;
+    Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
+    String.split_on_char '\n' (String.sub s 0 last)
+
+let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.) ?metrics_out
+    () =
+  (* Replace a stale socket from a previous daemon; refuse to clobber
+     anything that is not a socket. *)
+  (match Unix.stat socket with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink socket with Unix.Unix_error _ -> ())
+  | _ ->
+    prerr_endline ("shelley serve: " ^ socket ^ " exists and is not a socket");
+    exit 2
+  | exception Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (match Unix.bind listen_fd (Unix.ADDR_UNIX socket) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    prerr_endline
+      (Printf.sprintf "shelley serve: cannot bind %s: %s" socket (Unix.error_message e));
+    exit 2);
+  Unix.listen listen_fd 16;
+  let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  (* Workers fork lazily, possibly while clients are connected: every
+     daemon-side descriptor must close in the child or a worker would hold
+     the socket open past the daemon's exit. *)
+  let after_fork () =
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns
+  in
+  let st = make_state ~after_fork ?cache ?default_timeout ~jobs () in
+  let draining = ref false in
+  let handler = Sys.Signal_handle (fun _ -> draining := true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let drop conn =
+    Hashtbl.remove conns conn.fd;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  in
+  let respond conn line =
+    let payload = Bytes.of_string (line ^ "\n") in
+    match write_all conn.fd payload 0 (Bytes.length payload) with
+    | () -> ()
+    | exception Unix.Unix_error _ -> drop conn
+  in
+  (* Serve every complete line this connection has buffered. Returns after
+     the shutdown acknowledgment has been written, so the client that asked
+     always hears the answer. *)
+  let pump conn =
+    List.iter
+      (fun line ->
+        if String.trim line <> "" then begin
+          let resp, k = handle_line st line in
+          respond conn resp;
+          match k with
+          | `Shutdown -> draining := true
+          | `Continue -> ()
+        end)
+      (take_lines conn.rbuf)
+  in
+  let chunk = Bytes.create 65536 in
+  let read_conn conn =
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> drop conn
+    | n ->
+      Buffer.add_subbytes conn.rbuf chunk 0 n;
+      pump conn
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> drop conn
+  in
+  let last_activity = ref (Unix.gettimeofday ()) in
+  let reaped = ref false in
+  while not !draining do
+    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    match Unix.select fds [] [] 0.5 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+      List.iter
+        (fun fd ->
+          if fd == listen_fd then begin
+            match Unix.accept listen_fd with
+            | client, _ ->
+              Hashtbl.replace conns client { fd = client; rbuf = Buffer.create 256 };
+              last_activity := Unix.gettimeofday ();
+              reaped := false
+            | exception Unix.Unix_error _ -> ()
+          end
+          else
+            match Hashtbl.find_opt conns fd with
+            | Some conn ->
+              last_activity := Unix.gettimeofday ();
+              reaped := false;
+              read_conn conn
+            | None -> ())
+        readable;
+      (* A dormant daemon holds no worker processes and no unflushed cache
+         entries: both respawn / refill on the next request. *)
+      if
+        (not !reaped)
+        && Hashtbl.length conns = 0
+        && Unix.gettimeofday () -. !last_activity > idle_reap
+      then begin
+        Checker.quiesce_pool st.pool;
+        Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
+        Obs.count "serve.idle_reaps" 1;
+        reaped := true
+      end
+  done;
+  (* Graceful drain: answer what has already arrived in full, then flush
+     state and dismantle. In-flight requests finished above — the handler
+     runs to completion even when the signal lands mid-verification (the
+     supervisor retries its selects on EINTR). *)
+  Hashtbl.iter (fun _ conn -> pump conn) (Hashtbl.copy conns);
+  Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
+  Option.iter
+    (fun path ->
+      let oc = open_out_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (Obs.render_metrics_json ())))
+    metrics_out;
+  shutdown_state st;
+  Hashtbl.iter (fun _ conn -> try Unix.close conn.fd with Unix.Unix_error _ -> ()) conns;
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  0
+
+(* --- client ----------------------------------------------------------------- *)
+
+let client_call ~socket line =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error (e, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" socket (Unix.error_message e))
+        | () -> (
+          let payload = Bytes.of_string (line ^ "\n") in
+          match write_all fd payload 0 (Bytes.length payload) with
+          | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+          | () ->
+            let buf = Buffer.create 1024 in
+            let chunk = Bytes.create 65536 in
+            let rec go () =
+              if String.contains (Buffer.contents buf) '\n' then ()
+              else
+                match Unix.read fd chunk 0 (Bytes.length chunk) with
+                | 0 -> ()
+                | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  go ()
+                | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+            in
+            (match go () with
+            | () -> ()
+            | exception Unix.Unix_error _ -> ());
+            let s = Buffer.contents buf in
+            (match String.index_opt s '\n' with
+            | Some i -> Ok (String.sub s 0 i)
+            | None ->
+              if s = "" then Error "connection closed without a response" else Ok s)))

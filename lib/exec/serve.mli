@@ -1,0 +1,84 @@
+(** The [shelley serve] daemon: a crash-tolerant, long-running verification
+    service over a Unix-domain socket.
+
+    Protocol: newline-delimited JSON-RPC. Each request is one line,
+    [{"id": ..., "method": M, "params": {...}}]; each response one line,
+    [{"id": ..., "result": {...}}] or [{"id": ..., "error": MSG, "code": N}].
+    Methods:
+
+    - [check] — params [files] (required), [warnings] / [explain] / [lint]
+      (bools), [using] (array of model files), [timeout] (seconds),
+      [max_states] / [fuel] (ints). The result's [output] is byte-identical
+      to what one-shot [shelley check] prints on stdout for the same
+      arguments (including the trailing ["OK: specification verified"] line
+      on success) and [code] is the one-shot exit code.
+    - [lint] — params [files] (required), [format] ([text]/[json]/[sarif]),
+      [timeout], [max_states] / [fuel], [max_behavior_size] /
+      [max_star_height]. Same one-shot-equivalence contract against
+      [shelley lint].
+    - [status] — daemon pid, request counters, pool lifecycle stats and
+      live worker pids.
+    - [shutdown] — acknowledge, then drain and exit.
+
+    All requests multiplex over one persistent {!Supervisor} pool (via
+    {!Checker.check_files}'s [?pool]), so concurrent clients queue FIFO and
+    workers stay hot across requests. Per-request deadlines ride on the
+    pool's per-call deadline override. Cache stores are deferred
+    ({!Cache.defer_writes}) and flushed on idle, drain and shutdown.
+
+    Failure semantics: a malformed line gets an [error] response and the
+    connection stays up; a worker crash mid-request yields the standard
+    [Worker_crashed] block for that unit only; SIGTERM/SIGINT request a
+    graceful drain — in-flight and fully-received requests finish, caches
+    flush, the metrics sink is written, workers are reaped, the socket is
+    unlinked, and {!serve} returns 0 with no orphan processes. *)
+
+type state
+(** One daemon's mutable context: the worker pool, the optional deferred
+    cache, request counters. *)
+
+val make_state :
+  ?after_fork:(unit -> unit) ->
+  ?cache:Cache.t ->
+  ?default_timeout:float ->
+  jobs:int ->
+  unit ->
+  state
+(** Build daemon state with a fresh [jobs]-wide pool. [cache] is switched to
+    deferred writes. [default_timeout] applies to requests that carry no
+    [timeout] param. [after_fork] is installed into the pool (the socket
+    loop uses it to close its listening and client descriptors inside
+    workers). Exposed separately from {!serve} so unit tests can drive
+    {!handle_line} without a socket. *)
+
+val handle_line : state -> string -> string * [ `Continue | `Shutdown ]
+(** Process one request line (without its newline), producing one response
+    line (without its newline) and whether the daemon should drain. Never
+    raises: parse and dispatch failures become [error] responses. *)
+
+val shutdown_state : state -> unit
+(** Flush the deferred cache and shut the pool down. Idempotent. *)
+
+val state_pool : state -> Checker.pool
+(** The daemon's pool — tests assert on its stats and worker pids. *)
+
+val serve :
+  socket:string ->
+  ?jobs:int ->
+  ?cache:Cache.t ->
+  ?default_timeout:float ->
+  ?idle_reap:float ->
+  ?metrics_out:string ->
+  unit ->
+  int
+(** Run the daemon on [socket] until [shutdown] or SIGTERM/SIGINT; returns
+    the process exit code (0 on a graceful drain). A stale socket path is
+    replaced. [idle_reap] (default 30 s) retires pool workers and flushes
+    the cache after that much request silence; the next request respawns
+    them. [metrics_out] writes the {!Obs} metrics JSON at drain time. *)
+
+val client_call : socket:string -> string -> (string, string) result
+(** Connect, send one request line, read one response line. [Error] carries
+    a connection-level message (the server being down, a closed socket); an
+    in-band [error] response is returned as [Ok] — the caller distinguishes
+    transport failures from request failures. *)

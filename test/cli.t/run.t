@@ -308,11 +308,11 @@ so the table is byte-identical between a sequential and a parallel run:
   claims                                     3        11000         3666
   usage                                      3        11000         3666
   validate                                   3         3000         1000
-  unit                                       2        58000        29000
   usage.expand                               3         3000         1000
   progression                                1         1000         1000
   language.product                           3         3000         1000
   ltl.check                                  1         5000         5000
+  unit                                       2        58000        29000
   counters
     fuel.claims.behavior regex size                        17
     fuel.claims.language-product configurations             7

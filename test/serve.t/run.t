@@ -1,0 +1,77 @@
+Serve mode: one long-lived daemon owns a persistent worker pool; clients
+send newline-delimited JSON-RPC over a Unix socket. The contract is
+byte-identity with the one-shot CLI — same stdout, same exit codes.
+
+  $ shelley serve --socket d.sock -j 2 > serve.log 2>&1 &
+  > SERVE_PID=$!
+  $ for i in $(seq 1 100); do [ -S d.sock ] && break; sleep 0.1; done
+
+check through the daemon replays one-shot `shelley check` exactly:
+
+  $ shelley check valve.py bad_sector.py > oneshot.out 2>&1; echo "exit $?"
+  exit 1
+  $ shelley client --socket d.sock check valve.py bad_sector.py > served.out 2>&1; echo "exit $?"
+  exit 1
+  $ cmp oneshot.out served.out && echo identical
+  identical
+
+lint too:
+
+  $ shelley lint valve.py bad_sector.py > lint_oneshot.out 2>&1; echo "exit $?"
+  exit 0
+  $ shelley client --socket d.sock lint valve.py bad_sector.py > lint_served.out 2>&1; echo "exit $?"
+  exit 0
+  $ cmp lint_oneshot.out lint_served.out && echo identical
+  identical
+
+status reports the daemon and its pool (3 requests so far, 2 live workers):
+
+  $ shelley client --socket d.sock status | grep -o '"requests":[0-9]*'
+  "requests":3
+  $ shelley client --socket d.sock status | grep -o '"live_workers":[0-9]*'
+  "live_workers":2
+
+shutdown acknowledges, drains and exits 0, unlinking the socket:
+
+  $ shelley client --socket d.sock shutdown
+  {"ok":true}
+  $ wait $SERVE_PID; echo "daemon exit $?"
+  daemon exit 0
+  $ [ -S d.sock ] || echo socket removed
+  socket removed
+
+A worker SIGKILL-ed mid-run charges only its unit: the crashed file gets a
+structured WORKER CRASHED block, every other unit is byte-identical.
+
+  $ SHELLEY_FAULT=crash:valve shelley serve --socket f.sock -j 2 --fault-injection > fault.log 2>&1 &
+  > FAULT_PID=$!
+  $ for i in $(seq 1 100); do [ -S f.sock ] && break; sleep 0.1; done
+  $ shelley client --socket f.sock check valve.py bad_sector.py > crashed.out 2>&1; echo "exit $?"
+  exit 3
+  $ grep -c 'WORKER CRASHED' crashed.out
+  1
+  $ grep -c 'INVALID SUBSYSTEM USAGE' crashed.out
+  1
+  $ shelley client --socket f.sock shutdown > /dev/null && wait $FAULT_PID; echo "daemon exit $?"
+  daemon exit 0
+
+SIGTERM during a multi-file run drains gracefully: the in-flight request
+finishes and its complete bytes reach the client, finished units' cache
+entries are flushed, the daemon exits 0 and removes its socket.
+
+  $ SHELLEY_FAULT=slow:valve shelley serve --socket s.sock -j 2 --cache .sc --fault-injection > slow.log 2>&1 &
+  > SLOW_PID=$!
+  $ for i in $(seq 1 100); do [ -S s.sock ] && break; sleep 0.1; done
+  $ shelley client --socket s.sock check valve.py bad_sector.py > drained.out 2>&1 &
+  > CLIENT_PID=$!
+  $ sleep 0.4; kill -TERM $SLOW_PID
+  $ wait $CLIENT_PID; echo "client exit $?"
+  client exit 1
+  $ wait $SLOW_PID; echo "daemon exit $?"
+  daemon exit 0
+  $ cmp oneshot.out drained.out && echo identical
+  identical
+  $ [ -S s.sock ] || echo socket removed
+  socket removed
+  $ find .sc -name '*.entry' | wc -l | tr -d ' '
+  2

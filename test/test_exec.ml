@@ -176,6 +176,157 @@ let test_signal_name () =
   Alcotest.(check string) "segv" "SIGSEGV" (Runner.signal_name Sys.sigsegv);
   Alcotest.(check string) "unknown" "signal 12345" (Runner.signal_name 12345)
 
+(* --- Supervisor (persistent prefork pool) ---------------------------------- *)
+
+(* A small, fast pool configuration for tests: tight heartbeats and grace
+   so wedge/restart paths resolve in tenths of a second, not seconds. *)
+let test_config ?jobs ?batch_size ?deadline ?max_tasks_per_worker ?max_restarts () =
+  Supervisor.config ?jobs ?batch_size ?deadline ?max_tasks_per_worker ?max_restarts
+    ~backoff_base:0.005 ~backoff_cap:0.05 ~heartbeat_interval:0.4 ~grace:0.1 ()
+
+let with_pool ?label cfg f body =
+  let pool = Supervisor.create ?label cfg f in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown pool) (fun () -> body pool)
+
+let test_supervisor_inline_matches_pooled () =
+  let tasks = List.init 23 (fun i -> i) in
+  let f n = n * n in
+  let unwrap = function
+    | Supervisor.Done r -> r
+    | Supervisor.Timed_out _ | Supervisor.Crashed _ -> Alcotest.fail "task failed"
+  in
+  let expected = List.map f tasks in
+  with_pool (test_config ~jobs:4 ~batch_size:3 ()) f @@ fun pool ->
+  let pooled = List.map unwrap (Supervisor.map pool tasks) in
+  Alcotest.(check (list int)) "pooled order = input order" expected pooled;
+  let st = Supervisor.stats pool in
+  Alcotest.(check bool) "batching amortizes dispatches" true (st.Supervisor.batches < 23);
+  Alcotest.(check bool) "all tasks ran in workers" true (st.Supervisor.tasks = 23)
+
+let test_supervisor_pool_persists_across_maps () =
+  let f n = n + 1 in
+  with_pool (test_config ~jobs:2 ()) f @@ fun pool ->
+  let run () =
+    match Supervisor.map pool [ 1; 2; 3; 4 ] with
+    | [ Supervisor.Done 2; Done 3; Done 4; Done 5 ] -> ()
+    | _ -> Alcotest.fail "wrong results"
+  in
+  run ();
+  let spawned_once = (Supervisor.stats pool).Supervisor.spawns in
+  run ();
+  run ();
+  Alcotest.(check int) "workers reused, not respawned"
+    spawned_once
+    (Supervisor.stats pool).Supervisor.spawns;
+  Alcotest.(check bool) "workers spawned at all" true (spawned_once > 0)
+
+let test_supervisor_crash_mid_batch_isolated () =
+  (* Task 2 kills its worker mid-batch; the remaining tasks of that batch
+     are re-dispatched and still complete — only task 2 is charged. *)
+  let f = function
+    | 2 -> suicide 2; 0
+    | n -> n * 10
+  in
+  with_pool (test_config ~jobs:1 ~batch_size:8 ()) f @@ fun pool ->
+  match Supervisor.map pool [ 1; 2; 3; 4 ] with
+  | [ Done 10; Crashed { reason; attempts = 1 }; Done 30; Done 40 ] ->
+    Alcotest.(check string) "signal named" "killed by SIGKILL" reason;
+    let st = Supervisor.stats pool in
+    Alcotest.(check bool) "crash restarted the worker" true (st.Supervisor.restarts >= 1);
+    Alcotest.(check bool) "restart entered backoff" true
+      (st.Supervisor.backoff_waits >= 1)
+  | outcomes -> Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)
+
+let test_supervisor_deadline_mid_batch () =
+  let f = function
+    | 2 -> Unix.sleep 30; 0
+    | n -> n * 10
+  in
+  with_pool (test_config ~jobs:1 ~batch_size:8 ~deadline:0.3 ()) f @@ fun pool ->
+  match Supervisor.map pool [ 1; 2; 3 ] with
+  | [ Done 10; Timed_out { seconds; attempts = 1 }; Done 30 ] ->
+    Alcotest.(check (float 0.001)) "configured deadline" 0.3 seconds;
+    Alcotest.(check bool) "deadline kill counted" true
+      ((Supervisor.stats pool).Supervisor.kills >= 1)
+  | outcomes -> Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)
+
+let test_supervisor_success_not_retried () =
+  with_pool (test_config ~jobs:2 ()) (fun n -> n * n) @@ fun pool ->
+  match Supervisor.map ~retry:(fun _ -> -1) pool [ 2; 3; 4 ] with
+  | [ Done 4; Done 9; Done 16 ] -> ()
+  | _ -> Alcotest.fail "successful first attempts were not kept"
+
+let test_supervisor_retry_recovers_and_attempts () =
+  (* Attempt 1 (positive task) crashes; the retry transform flips the sign
+     and succeeds. The settled record must say two attempts were spent, so
+     the checker knows not to cache the reduced-budget result. *)
+  let f n = if n > 0 then (suicide n; 0) else n * 10 in
+  with_pool (test_config ~jobs:2 ()) f @@ fun pool ->
+  match Supervisor.run ~retry:(fun n -> -n) pool [ 7 ] with
+  | [ { Supervisor.outcome = Done (-70); attempts = 2; _ } ] -> ()
+  | [ { Supervisor.outcome = Done r; attempts; _ } ] ->
+    Alcotest.failf "got Done %d after %d attempts" r attempts
+  | _ -> Alcotest.fail "expected the retry's Done"
+
+let test_supervisor_poisoned_after_two_attempts () =
+  let f n = if n = 2 then (suicide n; 0) else n in
+  with_pool (test_config ~jobs:2 ()) f @@ fun pool ->
+  match Supervisor.run ~retry:(fun n -> n) pool [ 1; 2; 3 ] with
+  | [
+   { Supervisor.outcome = Done 1; _ };
+   { Supervisor.outcome = Crashed { attempts = 2; _ }; attempts = 2; _ };
+   { Supervisor.outcome = Done 3; _ };
+  ] ->
+    Alcotest.(check int) "poisoned task counted" 1
+      (Supervisor.stats pool).Supervisor.poisoned
+  | _ -> Alcotest.fail "expected exactly the poisoned task to fail"
+
+let test_supervisor_recycles_workers () =
+  with_pool
+    (test_config ~jobs:1 ~batch_size:1 ~max_tasks_per_worker:2 ())
+    (fun n -> n)
+  @@ fun pool ->
+  let tasks = List.init 10 (fun i -> i) in
+  let ok =
+    List.for_all2
+      (fun n o -> o = Supervisor.Done n)
+      tasks (Supervisor.map pool tasks)
+  in
+  Alcotest.(check bool) "all completed across recycles" true ok;
+  let st = Supervisor.stats pool in
+  Alcotest.(check bool)
+    (Printf.sprintf "recycled every 2 tasks (got %d)" st.Supervisor.recycles)
+    true
+    (st.Supervisor.recycles >= 4);
+  Alcotest.(check bool) "recycles respawn fresh workers" true (st.Supervisor.spawns >= 5)
+
+let test_supervisor_closed_pool_degrades_inline () =
+  let pool = Supervisor.create (test_config ~jobs:2 ()) (fun n -> n * 2) in
+  Supervisor.shutdown pool;
+  (match Supervisor.map pool [ 1; 2; 3 ] with
+  | [ Done 2; Done 4; Done 6 ] -> ()
+  | _ -> Alcotest.fail "closed pool must still complete inline");
+  Alcotest.(check int) "ran in-process" 3 (Supervisor.stats pool).Supervisor.inline_tasks;
+  Alcotest.(check int) "no workers" 0 (Supervisor.stats pool).Supervisor.live_workers
+
+let test_supervisor_shutdown_leaves_no_orphans () =
+  let f n = n in
+  let pids =
+    with_pool (test_config ~jobs:3 ()) f @@ fun pool ->
+    ignore (Supervisor.map pool [ 1; 2; 3; 4; 5; 6 ]);
+    let pids = Supervisor.worker_pids pool in
+    Alcotest.(check bool) "workers were live" true (pids <> []);
+    pids
+  in
+  (* After shutdown every worker is reaped: kill 0 probes must fail. *)
+  List.iter
+    (fun pid ->
+      match Unix.kill pid 0 with
+      | () -> Alcotest.failf "worker %d survived shutdown" pid
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+      | exception _ -> ())
+    pids
+
 (* --- Checker determinism --------------------------------------------------- *)
 
 let shuffle seed l =
@@ -381,6 +532,29 @@ let () =
           Alcotest.test_case "exception contained" `Quick test_runner_exception_contained;
           Alcotest.test_case "faults isolated per task" `Quick test_runner_isolation;
           Alcotest.test_case "signal names" `Quick test_signal_name;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "inline = pooled, input order, batching" `Quick
+            test_supervisor_inline_matches_pooled;
+          Alcotest.test_case "pool persists across maps" `Quick
+            test_supervisor_pool_persists_across_maps;
+          Alcotest.test_case "crash mid-batch isolated" `Quick
+            test_supervisor_crash_mid_batch_isolated;
+          Alcotest.test_case "deadline kill mid-batch" `Quick
+            test_supervisor_deadline_mid_batch;
+          Alcotest.test_case "success not retried" `Quick
+            test_supervisor_success_not_retried;
+          Alcotest.test_case "retry recovers, attempts recorded" `Quick
+            test_supervisor_retry_recovers_and_attempts;
+          Alcotest.test_case "poisoned after two attempts" `Quick
+            test_supervisor_poisoned_after_two_attempts;
+          Alcotest.test_case "recycling by task count" `Quick
+            test_supervisor_recycles_workers;
+          Alcotest.test_case "closed pool degrades inline" `Quick
+            test_supervisor_closed_pool_degrades_inline;
+          Alcotest.test_case "shutdown leaves no orphans" `Quick
+            test_supervisor_shutdown_leaves_no_orphans;
         ] );
       ( "checker",
         [

@@ -398,6 +398,117 @@ let test_read_only_dir_store_is_counted () =
                   "nothing stored" true
                   ((Cache.find c key : int option) = None))))
 
+(* --- Supervisor-level fault injection -------------------------------------------
+
+   The pool's own failure modes, driven through the same SHELLEY_FAULT seam
+   as the checker faults: a corrupt result frame, a worker that wedges after
+   a batch, and fork itself failing. The contract in every case is the
+   supervisor's — the fault is classified against the one task it belongs
+   to and nothing else in the run is corrupted. *)
+
+let sup_config ?(jobs = 1) ?(max_restarts = 3) () =
+  Supervisor.config ~jobs ~batch_size:2 ~max_restarts ~backoff_base:0.005
+    ~backoff_cap:0.05 ~heartbeat_interval:0.3 ~grace:0.1 ()
+
+let with_fault spec f =
+  Supervisor.fault_injection := true;
+  Unix.putenv "SHELLEY_FAULT" spec;
+  Fun.protect
+    ~finally:(fun () ->
+      Supervisor.fault_injection := false;
+      Unix.putenv "SHELLEY_FAULT" "")
+    f
+
+let with_sup_pool ?jobs ?max_restarts f body =
+  let pool =
+    Supervisor.create ~label:string_of_int (sup_config ?jobs ?max_restarts ()) f
+  in
+  Fun.protect ~finally:(fun () -> Supervisor.shutdown pool) (fun () -> body pool)
+
+let test_garbage_frame_condemns_one_task () =
+  (* The worker computes task 2's result but writes a corrupt frame in its
+     place: that task alone is charged, the worker is condemned and the rest
+     of the run completes on a fresh one. *)
+  with_fault "garbage:2" @@ fun () ->
+  with_sup_pool (fun n -> n * 10) @@ fun pool ->
+  match Supervisor.map pool [ 1; 2; 3; 4 ] with
+  | [ Supervisor.Done 10; Crashed { reason; attempts = 1 }; Done 30; Done 40 ] ->
+    Alcotest.(check string) "classified as protocol corruption"
+      "garbage frame on result pipe" reason;
+    Alcotest.(check bool) "condemned worker restarted" true
+      ((Supervisor.stats pool).Supervisor.restarts >= 1)
+  | outcomes -> Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)
+
+let test_wedged_worker_detected_and_replaced () =
+  (* After finishing the batch that contains task 2 the worker stops reading
+     its job pipe and ignores heartbeats. The supervisor must notice the
+     missing dispatch ack, re-queue the unstarted batch untouched and finish
+     the run on a replacement — no task is lost or miscounted. *)
+  with_fault "wedge:2" @@ fun () ->
+  with_sup_pool (fun n -> n * 10) @@ fun pool ->
+  let expected = List.map (fun n -> Supervisor.Done (n * 10)) [ 1; 2; 3; 4; 5; 6 ] in
+  let got = Supervisor.map pool [ 1; 2; 3; 4; 5; 6 ] in
+  Alcotest.(check bool) "all tasks completed despite the wedge" true (got = expected);
+  let st = Supervisor.stats pool in
+  Alcotest.(check bool) "heartbeat miss detected" true (st.Supervisor.heartbeat_misses >= 1);
+  Alcotest.(check bool) "wedged worker replaced" true (st.Supervisor.restarts >= 1)
+
+let test_fork_failure_degrades_to_inline () =
+  (* Every fork attempt fails; once each slot is written off the pool must
+     fall back to in-process execution — the run still completes, correctly,
+     with the degradation visible in the counters. *)
+  with_fault "forkfail:99" @@ fun () ->
+  with_sup_pool ~jobs:2 ~max_restarts:2 (fun n -> n + 1) @@ fun pool ->
+  match Supervisor.map pool [ 1; 2; 3 ] with
+  | [ Supervisor.Done 2; Done 3; Done 4 ] ->
+    let st = Supervisor.stats pool in
+    Alcotest.(check bool) "fork failures counted" true (st.Supervisor.fork_failures >= 1);
+    Alcotest.(check int) "tasks ran in-process" 3 st.Supervisor.inline_tasks;
+    Alcotest.(check int) "no workers live" 0 st.Supervisor.live_workers
+  | outcomes -> Alcotest.failf "unexpected outcomes (%d)" (List.length outcomes)
+
+(* The acceptance scenario at the checker level: SIGKILL-ing a worker mid-run
+   yields exactly one [Worker_crashed] unit; every other unit's block and
+   code are byte-identical to an uninjected run. *)
+let crash_corpus =
+  lazy
+    (let dir = Filename.temp_file "shelley_fault_sup" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     List.map
+       (fun name ->
+         let path = Filename.concat dir name in
+         let oc = open_out_bin path in
+         output_string oc valve_source;
+         close_out oc;
+         path)
+       [ "v1.py"; "v2.py"; "v3.py"; "v4.py" ])
+
+let test_worker_crash_leaves_other_units_byte_identical () =
+  let paths = Lazy.force crash_corpus in
+  let clean = Checker.check_files ~jobs:2 paths in
+  let faulted =
+    with_fault "crash:v2.py" @@ fun () -> Checker.check_files ~jobs:2 paths
+  in
+  List.iter2
+    (fun (c : Checker.verdict) (f : Checker.verdict) ->
+      if Filename.basename f.Checker.path = "v2.py" then begin
+        Alcotest.(check int) "crashed unit maps to 3" 3 f.Checker.code;
+        Alcotest.(check bool) "structured crash block" true
+          (contains f.Checker.output "WORKER CRASHED");
+        Alcotest.(check bool) "signal named" true
+          (contains f.Checker.output "SIGKILL")
+      end
+      else begin
+        Alcotest.(check string)
+          (Filename.basename f.Checker.path ^ ": block byte-identical")
+          c.Checker.output f.Checker.output;
+        Alcotest.(check int)
+          (Filename.basename f.Checker.path ^ ": code unchanged")
+          c.Checker.code f.Checker.code
+      end)
+    clean faulted
+
 (* --- Suite -------------------------------------------------------------------- *)
 
 let () =
@@ -431,6 +542,17 @@ let () =
             test_starved_pipeline_runs_other_checks;
           prop_pipeline_total_on_garbage;
           prop_pipeline_total_on_mutations;
+        ] );
+      ( "supervisor faults",
+        [
+          Alcotest.test_case "garbage frame condemns one task" `Quick
+            test_garbage_frame_condemns_one_task;
+          Alcotest.test_case "wedged worker detected and replaced" `Quick
+            test_wedged_worker_detected_and_replaced;
+          Alcotest.test_case "fork failure degrades to inline" `Quick
+            test_fork_failure_degrades_to_inline;
+          Alcotest.test_case "crash leaves other units byte-identical" `Quick
+            test_worker_crash_leaves_other_units_byte_identical;
         ] );
       ( "cache corruption",
         [

@@ -1,0 +1,373 @@
+(* The serve daemon's one-shot-equivalence contract, proven two ways:
+   in-process (Serve.handle_line is a pure string -> string handler, so the
+   QCheck property drives it with no socket at all) and end-to-end (a forked
+   daemon on a real Unix socket, SIGTERM-ed mid-request, must drain
+   gracefully: complete response bytes, exit 0, cache persisted, socket
+   unlinked, no orphan workers). *)
+
+open Testutil
+
+(* --- Corpus generation (same shapes as test_cache) ---------------------------- *)
+
+type spec =
+  | Valve
+  | Bad
+  | Broken
+  | Gen of Prog.t
+
+let read_sample name =
+  let path =
+    List.find Sys.file_exists
+      [ Filename.concat "../samples" name; Filename.concat "samples" name ]
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let valve_source = read_sample "valve.py"
+let bad_source = read_sample "bad_sector.py"
+let broken_source = "@sys\nclass Broken:\n    def oops(self:\n        return [\n"
+let driver_alphabet = List.map sym [ "test"; "open"; "close"; "clean" ]
+
+let render_prog p =
+  let buf = Buffer.create 256 in
+  let pad n = String.make n ' ' in
+  let rec stmt indent p =
+    match (p : Prog.t) with
+    | Call f -> Buffer.add_string buf (pad indent ^ "self.a." ^ Symbol.name f ^ "()\n")
+    | Skip -> Buffer.add_string buf (pad indent ^ "print(\"skip\")\n")
+    | Return -> Buffer.add_string buf (pad indent ^ "return []\n")
+    | Seq (a, b) ->
+      stmt indent a;
+      stmt indent b
+    | If (a, b) ->
+      Buffer.add_string buf (pad indent ^ "if self.flag.value():\n");
+      stmt (indent + 4) a;
+      Buffer.add_string buf (pad indent ^ "else:\n");
+      stmt (indent + 4) b
+    | Loop a ->
+      Buffer.add_string buf (pad indent ^ "while self.flag.value():\n");
+      stmt (indent + 4) a
+  in
+  stmt 8 p;
+  Buffer.contents buf
+
+let gen_source p =
+  valve_source
+  ^ Printf.sprintf
+      {|
+
+@sys(["a"])
+class Driver:
+    def __init__(self):
+        self.a = Valve()
+        self.flag = Pin(25, IN)
+
+    @op_initial_final
+    def run(self):
+%s        return []
+|}
+      (render_prog p)
+
+let source_of = function
+  | Valve -> valve_source
+  | Bad -> bad_source
+  | Broken -> broken_source
+  | Gen p -> gen_source p
+
+let spec_name = function
+  | Valve -> "valve"
+  | Bad -> "bad"
+  | Broken -> "broken"
+  | Gen p -> "gen " ^ Prog.to_string p
+
+let spec_gen : spec QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  frequency
+    [
+      (1, return Valve);
+      (1, return Bad);
+      (1, return Broken);
+      (3, map (fun p -> Gen p) (prog_gen_over driver_alphabet));
+    ]
+
+let corpus_gen = QCheck2.Gen.(list_size (int_range 1 4) spec_gen)
+
+let spec_shrink = function
+  | Valve -> Seq.empty
+  | Bad | Broken -> Seq.return Valve
+  | Gen p -> Seq.map (fun p' -> Gen p') (prog_shrink p)
+
+let rec corpus_shrink = function
+  | [] -> Seq.empty
+  | x :: rest ->
+    Seq.append
+      (Seq.return rest)
+      (Seq.append
+         (Seq.map (fun x' -> x' :: rest) (spec_shrink x))
+         (Seq.map (fun rest' -> x :: rest') (corpus_shrink rest)))
+
+let corpus_arb =
+  arbitrary
+    ~print:(fun specs -> String.concat " | " (List.map spec_name specs))
+    ~shrink:corpus_shrink corpus_gen
+
+let counter = ref 0
+
+let with_corpus specs f =
+  incr counter;
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "shelley_servetest_%d_%d" (Unix.getpid ()) !counter)
+  in
+  Unix.mkdir dir 0o755;
+  let files =
+    List.mapi
+      (fun i spec ->
+        let path = Filename.concat dir (Printf.sprintf "unit_%d.py" i) in
+        let oc = open_out_bin path in
+        output_string oc (source_of spec);
+        close_out oc;
+        path)
+      specs
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      try Unix.rmdir path with Unix.Unix_error _ -> ()
+    end
+    else try Sys.remove path with Sys_error _ -> ()
+  in
+  Fun.protect ~finally:(fun () -> rm dir) (fun () -> f dir files)
+
+(* --- handle_line plumbing ----------------------------------------------------- *)
+
+let with_state ?(jobs = 2) body =
+  let st = Serve.make_state ~jobs () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown_state st) (fun () -> body st)
+
+let check_request files =
+  Jsonl.to_string
+    (Jsonl.Obj
+       [
+         ("id", Jsonl.Num 1.);
+         ("method", Jsonl.Str "check");
+         ( "params",
+           Jsonl.Obj [ ("files", Jsonl.Arr (List.map (fun f -> Jsonl.Str f) files)) ]
+         );
+       ])
+
+(* Extract (output, code) from a result response; fail loudly otherwise. *)
+let result_of resp =
+  match Jsonl.parse resp with
+  | Error msg -> Alcotest.failf "unparsable response: %s" msg
+  | Ok j -> (
+    match Jsonl.member "result" j with
+    | None -> Alcotest.failf "error response: %s" resp
+    | Some r -> (
+      match (Jsonl.mem_str "output" r, Jsonl.mem_num "code" r) with
+      | Some output, Some code -> (output, int_of_float code)
+      | _ -> Alcotest.failf "malformed result: %s" resp))
+
+(* What one-shot `shelley check` prints on stdout, from its own engine. *)
+let oneshot ?(jobs = 1) files =
+  let verdicts = Checker.check_files ~jobs files in
+  let code = Checker.exit_code verdicts in
+  let buf = Buffer.create 256 in
+  List.iter (fun (v : Checker.verdict) -> Buffer.add_string buf v.Checker.output) verdicts;
+  if code = 0 then Buffer.add_string buf "OK: specification verified\n";
+  (Buffer.contents buf, code)
+
+(* --- The equivalence property -------------------------------------------------- *)
+
+let prop_serve_matches_oneshot =
+  qtest_arb "serve check = one-shot check -j 1" ~count:10 corpus_arb (fun specs ->
+      with_corpus specs (fun _dir files ->
+          with_state @@ fun st ->
+          let resp, k = Serve.handle_line st (check_request files) in
+          assert (k = `Continue);
+          let output, code = result_of resp in
+          let exp_output, exp_code = oneshot files in
+          String.equal output exp_output && code = exp_code))
+
+let with_fault spec f =
+  Checker.fault_injection := true;
+  Unix.putenv "SHELLEY_FAULT" spec;
+  Fun.protect
+    ~finally:(fun () ->
+      Checker.fault_injection := false;
+      Unix.putenv "SHELLEY_FAULT" "")
+    f
+
+let prop_serve_matches_oneshot_under_crashes =
+  (* With a worker SIGKILL injected on the first unit, the daemon's response
+     must still be byte-identical to the pooled one-shot engine under the
+     same fault — the crashed unit carries its Worker_crashed block, and the
+     response arrives instead of the daemon dying with its worker. *)
+  qtest_arb "serve check = one-shot under worker crashes" ~count:6 corpus_arb
+    (fun specs ->
+      with_corpus specs (fun _dir files ->
+          with_fault "crash:unit_0.py" @@ fun () ->
+          with_state @@ fun st ->
+          let resp, k = Serve.handle_line st (check_request files) in
+          assert (k = `Continue);
+          let output, code = result_of resp in
+          let exp_output, exp_code = oneshot ~jobs:2 files in
+          String.equal output exp_output && code = exp_code
+          && contains output "WORKER CRASHED"))
+
+(* --- Protocol robustness -------------------------------------------------------- *)
+
+let test_handle_line_robustness () =
+  with_state @@ fun st ->
+  let errorish line =
+    let resp, k = Serve.handle_line st line in
+    Alcotest.(check bool) (line ^ ": continues") true (k = `Continue);
+    Alcotest.(check bool) (line ^ ": error response") true (contains resp "\"error\"")
+  in
+  errorish "{not json";
+  errorish "{\"id\":1}";
+  errorish "{\"id\":1,\"method\":\"frobnicate\"}";
+  errorish "{\"id\":1,\"method\":\"check\",\"params\":{\"files\":[]}}";
+  (* A missing model file is a per-unit verdict, not a dead daemon. *)
+  let resp, _ = Serve.handle_line st (check_request [ "no/such/file.py" ]) in
+  let output, code = result_of resp in
+  Alcotest.(check int) "unreadable file is code 2" 2 code;
+  Alcotest.(check bool) "rendered" true (contains output "cannot read file");
+  (* shutdown acknowledges and asks the loop to drain. *)
+  let resp, k = Serve.handle_line st "{\"id\":9,\"method\":\"shutdown\"}" in
+  Alcotest.(check bool) "shutdown acked" true (contains resp "\"ok\":true");
+  Alcotest.(check bool) "drain requested" true (k = `Shutdown)
+
+let test_status_reports_pool () =
+  with_state @@ fun st ->
+  with_corpus [ Valve ] (fun _dir files ->
+      let _ = Serve.handle_line st (check_request files) in
+      let resp, _ = Serve.handle_line st "{\"id\":2,\"method\":\"status\"}" in
+      match Jsonl.parse resp with
+      | Error msg -> Alcotest.failf "unparsable status: %s" msg
+      | Ok j ->
+        let r = Option.get (Jsonl.member "result" j) in
+        Alcotest.(check bool) "pid present" true (Jsonl.mem_num "pid" r <> None);
+        let pool = Option.get (Jsonl.member "pool" r) in
+        let spawns = int_of_float (Option.get (Jsonl.mem_num "spawns" pool)) in
+        Alcotest.(check bool) "workers spawned for the check" true (spawns >= 1))
+
+(* --- SIGTERM drain, end to end -------------------------------------------------- *)
+
+let wait_for ?(timeout = 10.) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    if pred () then true
+    else if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Unix.sleepf 0.02;
+      go ()
+    end
+  in
+  go ()
+
+let rec waitpid_eintr pid =
+  match Unix.waitpid [] pid with
+  | r -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> waitpid_eintr pid
+
+let test_sigterm_drains_cleanly () =
+  with_corpus [ Valve; Bad; Valve ] @@ fun dir files ->
+  let socket = Filename.concat dir "d.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let cache =
+    match Cache.open_dir cache_dir with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  (* Arm the slow fault before forking so the daemon inherits it: the first
+     unit's verification stalls ~1 s, leaving a window to SIGTERM the daemon
+     mid-request. *)
+  with_fault "slow:unit_0.py" @@ fun () ->
+  let daemon =
+    match Unix.fork () with
+    | 0 -> (
+      (* Child: become the daemon. _exit so the test runner's own at_exit
+         machinery never runs twice. *)
+      try Unix._exit (Serve.serve ~socket ~jobs:2 ~cache ()) with _ -> Unix._exit 99)
+    | pid -> pid
+  in
+  if not (wait_for (fun () -> Sys.file_exists socket)) then
+    Alcotest.fail "daemon socket never appeared";
+  (* One quick request first (the slow fault only matches unit_0), so the
+     workers exist and status can tell us their pids. *)
+  (match Serve.client_call ~socket (check_request [ List.nth files 1 ]) with
+  | Error msg -> Alcotest.failf "warm-up check failed: %s" msg
+  | Ok _ -> ());
+  let worker_pids =
+    match Serve.client_call ~socket "{\"id\":1,\"method\":\"status\"}" with
+    | Error msg -> Alcotest.failf "status failed: %s" msg
+    | Ok resp -> (
+      match Jsonl.parse resp with
+      | Error msg -> Alcotest.failf "unparsable status: %s" msg
+      | Ok j ->
+        Option.get (Jsonl.member "result" j)
+        |> Jsonl.member "workers" |> Option.get |> Jsonl.to_list |> Option.get
+        |> List.filter_map Jsonl.to_num |> List.map int_of_float)
+  in
+  Alcotest.(check bool) "workers live before the drain" true (worker_pids <> []);
+  let killer =
+    match Unix.fork () with
+    | 0 ->
+      Unix.sleepf 0.4;
+      (try Unix.kill daemon Sys.sigterm with Unix.Unix_error _ -> ());
+      Unix._exit 0
+    | pid -> pid
+  in
+  (* The check request is in flight when the SIGTERM lands; the drain
+     contract says we still receive the complete one-shot-identical bytes. *)
+  let resp =
+    match Serve.client_call ~socket (check_request files) with
+    | Error msg -> Alcotest.failf "check during drain failed: %s" msg
+    | Ok resp -> resp
+  in
+  let output, code = result_of resp in
+  let exp_output, exp_code = oneshot files in
+  Alcotest.(check string) "drained response byte-identical" exp_output output;
+  Alcotest.(check int) "drained code" exp_code code;
+  ignore (waitpid_eintr killer);
+  (match waitpid_eintr daemon with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d, not 0" n
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> Alcotest.fail "daemon did not exit cleanly");
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
+  (* Finished units' cache entries were flushed before exit. *)
+  let entries = ref 0 in
+  let rec walk path =
+    if Sys.is_directory path then
+      Array.iter (fun e -> walk (Filename.concat path e)) (Sys.readdir path)
+    else if Filename.check_suffix path ".entry" then incr entries
+  in
+  walk cache_dir;
+  Alcotest.(check bool) "cache entries persisted" true (!entries >= 1);
+  (* No orphans: every worker the daemon reported is gone. *)
+  List.iter
+    (fun pid ->
+      match Unix.kill pid 0 with
+      | () -> Alcotest.failf "worker %d orphaned by the drain" pid
+      | exception Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+      | exception _ -> ())
+    worker_pids
+
+(* --- Suite ---------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "one-shot equivalence",
+        [ prop_serve_matches_oneshot; prop_serve_matches_oneshot_under_crashes ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "handle_line robustness" `Quick test_handle_line_robustness;
+          Alcotest.test_case "status reports the pool" `Quick test_status_reports_pool;
+        ] );
+      ( "graceful drain",
+        [ Alcotest.test_case "SIGTERM drains cleanly" `Quick test_sigterm_drains_cleanly ] );
+    ]
