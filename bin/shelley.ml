@@ -973,6 +973,53 @@ let serve_cmd =
           ~doc:"Retire pool workers (and flush deferred cache stores) after \
                 this much request silence; the next request respawns them.")
   in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission queue bound: at most this many check/lint requests \
+             wait for a worker; beyond it the daemon sheds with a \
+             structured $(b,overloaded) error and a retry_after_ms hint.")
+  in
+  let max_frame_bytes =
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "max-frame-bytes" ] ~docv:"BYTES"
+          ~doc:
+            "Largest request line accepted; an oversized frame gets a \
+             structured $(b,frame_too_large) error and the connection is \
+             closed.")
+  in
+  let read_deadline =
+    Arg.(
+      value & opt float 30.
+      & info [ "read-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "A connection that starts a frame must finish it within this \
+             long or it is reaped (slow-loris protection). Idle \
+             connections with no partial frame are never reaped.")
+  in
+  let queue_deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "queue-deadline" ] ~docv:"SECONDS"
+          ~doc:
+            "Server-wide cap on how long a request may wait in the \
+             admission queue before being answered $(b,expired); combined \
+             with each request's own deadline_ms by taking the tighter.")
+  in
+  let max_worker_mem =
+    Arg.(
+      value & opt int 0
+      & info [ "max-worker-mem" ] ~docv:"MIB"
+          ~doc:
+            "Cap each worker's address space (setrlimit RLIMIT_AS) so a \
+             ballooning check fails as a classified resource-limit verdict \
+             instead of a crash. 0 = uncapped.")
+  in
   let fault_injection =
     Arg.(
       value & flag
@@ -982,13 +1029,16 @@ let serve_cmd =
              (worker crashes, wedges, garbage frames, fork failures) in \
              this daemon and its workers.")
   in
-  let run socket jobs timeout idle_reap cache_dir metrics_out fault_injection =
+  let run socket jobs timeout idle_reap cache_dir metrics_out max_queue
+      max_frame_bytes read_deadline queue_deadline max_worker_mem
+      fault_injection =
     Checker.fault_injection := fault_injection;
     if metrics_out <> None then Obs.enable ();
     let cache = open_cache cache_dir in
     exit
       (Serve.serve ~socket ~jobs ?cache ?default_timeout:timeout ~idle_reap
-         ?metrics_out ())
+         ?metrics_out ~max_queue ~max_frame_bytes ~read_deadline
+         ?queue_deadline ~max_worker_mem ())
   in
   Cmd.v
     (Cmd.info "serve"
@@ -996,16 +1046,24 @@ let serve_cmd =
          "Run the long-lived verification daemon: newline-delimited JSON-RPC \
           ($(b,check), $(b,lint), $(b,status), $(b,shutdown)) over a Unix \
           socket, multiplexing every request over one supervised persistent \
-          worker pool. SIGTERM/SIGINT drain gracefully: in-flight requests \
-          finish, cache stores flush, workers are reaped, exit 0."
+          worker pool with bounded admission (shed + retry_after_ms when \
+          full), per-client fair scheduling, queued-deadline expiry, frame \
+          size and read-deadline limits, and per-worker memory caps. \
+          SIGTERM/SIGINT drain gracefully: in-flight requests finish, cache \
+          stores flush, workers are reaped, exit 0. Refuses to start over \
+          the socket of a daemon that is still alive."
        ~exits:
          [
            Cmd.Exit.info 0 ~doc:"graceful shutdown (request or signal).";
-           Cmd.Exit.info 2 ~doc:"the socket could not be created.";
+           Cmd.Exit.info 2
+             ~doc:
+               "the socket could not be created, or a live daemon already \
+                owns it.";
          ])
     Term.(
       const run $ socket_arg $ jobs $ timeout $ idle_reap $ cache_arg
-      $ metrics_out_arg $ fault_injection)
+      $ metrics_out_arg $ max_queue $ max_frame_bytes $ read_deadline
+      $ queue_deadline $ max_worker_mem $ fault_injection)
 
 let client_cmd =
   let meth =
@@ -1041,7 +1099,37 @@ let client_cmd =
       value & opt (some string) None
       & info [ "format" ] ~docv:"FMT" ~doc:"lint: text, json or sarif.")
   in
-  let run socket meth files warnings explain lint using timeout format =
+  let retries =
+    Arg.(
+      value & opt int Serve.default_retries
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry budget when the daemon is unreachable or sheds with \
+             $(b,overloaded): up to N retries under capped exponential \
+             backoff with jitter, honoring the daemon's retry_after_ms \
+             hint. 0 = fail fast.")
+  in
+  let priority =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "priority" ] ~docv:"N"
+          ~doc:
+            "check/lint: scheduling priority in the daemon's admission \
+             queue — higher dispatches sooner (default 0).")
+  in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:
+            "check/lint: give up if the request would wait more than MS \
+             milliseconds in the daemon's queue (answered $(b,expired), \
+             exit 3).")
+  in
+  let run socket meth files warnings explain lint using timeout format retries
+      priority deadline_ms =
     let params =
       let open Jsonl in
       let base =
@@ -1059,7 +1147,13 @@ let client_cmd =
           @ match format with Some f -> [ ("format", Str f) ] | None -> [])
         | `Status | `Shutdown -> []
       in
-      base @ match timeout with Some t -> [ ("timeout", Num t) ] | None -> []
+      base
+      @ (match timeout with Some t -> [ ("timeout", Num t) ] | None -> [])
+      @ (match priority with
+        | Some p -> [ ("priority", Num (float_of_int p)) ]
+        | None -> [])
+      @
+      match deadline_ms with Some ms -> [ ("deadline_ms", Num ms) ] | None -> []
     in
     let method_name =
       match meth with
@@ -1075,10 +1169,16 @@ let client_cmd =
             ("id", Num 1.); ("method", Str method_name); ("params", Obj params);
           ])
     in
-    match Serve.client_call ~socket (Jsonl.to_string request) with
-    | Error msg ->
-      prerr_endline ("shelley client: " ^ msg);
+    match Serve.client_request ~socket ~retries (Jsonl.to_string request) with
+    | Error (`Unreachable (attempts, msg)) ->
+      prerr_endline
+        (Printf.sprintf "shelley client: %s (%d attempts)" msg attempts);
       exit 2
+    | Error (`Overloaded (attempts, _last)) ->
+      prerr_endline
+        (Printf.sprintf
+           "shelley client: daemon still overloaded after %d attempts" attempts);
+      exit 4
     | Ok line -> (
       match Jsonl.parse line with
       | Error msg ->
@@ -1120,15 +1220,22 @@ let client_cmd =
        ~doc:
          "Send one request to a running $(b,shelley serve) daemon and print \
           the response: check/lint replay the one-shot CLI's stdout and exit \
-          code byte-for-byte; status/shutdown print the raw JSON result."
+          code byte-for-byte; status/shutdown print the raw JSON result. \
+          Connection failures and $(b,overloaded) sheds are retried \
+          transparently (see $(b,--retries)); shed-and-exhausted exits 4, \
+          distinct from protocol failure (2)."
        ~exits:
          [
            Cmd.Exit.info 0 ~doc:"request succeeded.";
            Cmd.Exit.info 2 ~doc:"connection or protocol failure.";
+           Cmd.Exit.info 3
+             ~doc:"the request expired in the daemon's queue (--deadline-ms).";
+           Cmd.Exit.info 4
+             ~doc:"the daemon was still shedding after the retry budget.";
          ])
     Term.(
       const run $ socket_arg $ meth $ files $ warnings $ explain $ lint $ using
-      $ timeout $ format)
+      $ timeout $ format $ retries $ priority $ deadline_ms)
 
 let main_cmd =
   let doc = "Shelley-style model inference and checking for MicroPython (DSN-W 2023)." in

@@ -1,0 +1,124 @@
+(* Bounded admission queue with fair scheduling, for the serve daemon.
+
+   The queue answers three questions the strict-FIFO daemon could not:
+
+   - admission: may this request wait at all? A full queue sheds the
+     request immediately with a [retry_after_ms] hint scaled to the
+     backlog, so an overloaded daemon degrades into fast structured
+     refusals instead of unbounded latency;
+   - expiry: a request whose deadline passes while it is still queued is
+     answered [expired], never dispatched — work nobody is waiting for
+     anymore is never performed;
+   - order: dispatch is per-client round-robin within a priority level
+     (highest [priority] integer first), so one client queueing a hundred
+     requests cannot starve a client queueing one.
+
+   Pure bookkeeping over an explicit [now] (callers pass a monotonic
+   clock), no I/O — unit-testable without a socket in sight. Operations
+   are O(queue length); the queue is bounded, so that is a constant. *)
+
+type 'a item = {
+  seq : int;  (* arrival order, globally increasing *)
+  client : int;
+  priority : int;
+  deadline : float option;  (* absolute, caller's clock; None = patient *)
+  payload : 'a;
+}
+
+type 'a t = {
+  max_queue : int;
+  mutable items : 'a item list;  (* arrival order (oldest first) *)
+  mutable seq : int;
+  mutable serve_stamp : int;
+  last_served : (int, int) Hashtbl.t;  (* client -> stamp of last dispatch *)
+}
+
+let create ~max_queue =
+  {
+    max_queue = max 0 max_queue;
+    items = [];
+    seq = 0;
+    serve_stamp = 0;
+    last_served = Hashtbl.create 8;
+  }
+
+let length t = List.length t.items
+let max_queue t = t.max_queue
+
+(* The hint a shed client gets: proportional to the backlog it would have
+   waited behind, clamped to a sane band. Deliberately deterministic — the
+   *client* adds jitter, so the hint can be asserted in tests. *)
+let retry_after_ms t = min 5000 (100 * max 1 (length t))
+
+type 'a verdict =
+  | Admitted
+  | Shed of int  (* retry_after_ms *)
+  | Expired  (* deadline already in the past at submission *)
+
+let submit t ~client ~priority ~deadline ~now payload =
+  match deadline with
+  | Some d when d <= now -> Expired
+  | _ ->
+    if length t >= t.max_queue then Shed (retry_after_ms t)
+    else begin
+      let item = { seq = t.seq; client; priority; deadline; payload } in
+      t.seq <- t.seq + 1;
+      t.items <- t.items @ [ item ];
+      Admitted
+    end
+
+(* Requests whose deadline has passed, in arrival order; removed. *)
+let expired t ~now =
+  let dead, live =
+    List.partition
+      (fun item ->
+        match item.deadline with
+        | Some d -> d <= now
+        | None -> false)
+      t.items
+  in
+  t.items <- live;
+  List.map (fun item -> (item.client, item.payload)) dead
+
+(* Head-of-line per client, then: max priority; among those, the client
+   served longest ago (never-served wins); among those, arrival order. *)
+let next t =
+  match t.items with
+  | [] -> None
+  | items ->
+    let heads =
+      List.fold_left
+        (fun acc item ->
+          if List.exists (fun h -> h.client = item.client) acc then acc
+          else item :: acc)
+        [] items
+      |> List.rev
+    in
+    let stamp_of item =
+      Option.value (Hashtbl.find_opt t.last_served item.client) ~default:0
+    in
+    let best =
+      List.fold_left
+        (fun (best : _ item) item ->
+          let better =
+            item.priority > best.priority
+            || (item.priority = best.priority
+               && (stamp_of item < stamp_of best
+                  || (stamp_of item = stamp_of best && item.seq < best.seq)))
+          in
+          if better then item else best)
+        (List.hd heads) (List.tl heads)
+    in
+    t.serve_stamp <- t.serve_stamp + 1;
+    Hashtbl.replace t.last_served best.client t.serve_stamp;
+    let chosen = best.seq in
+    t.items <- List.filter (fun (item : _ item) -> item.seq <> chosen) t.items;
+    Some (best.client, best.payload)
+
+(* A disconnected client's queued requests have nowhere to be answered:
+   free their slots. Returns how many were dropped. *)
+let drop_client t client =
+  let mine, rest = List.partition (fun item -> item.client = client) t.items in
+  t.items <- rest;
+  Hashtbl.remove t.last_served client;
+  List.length mine

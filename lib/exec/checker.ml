@@ -44,6 +44,20 @@ let fault_hook path =
                  done
                | "crash" -> Unix.kill (Unix.getpid ()) Sys.sigkill
                | "slow" -> Unix.sleepf 1.0
+               | "balloon" ->
+                 (* Allocate until the worker's RLIMIT_AS cap turns into a
+                    catchable Out_of_memory. Bounded at ~4 GiB so arming
+                    this in an uncapped process is a no-op rather than a
+                    host-wide memory grab. *)
+                 let hoard = ref [] in
+                 (try
+                    for _ = 1 to 256 do
+                      hoard := Bytes.create (16 * 1024 * 1024) :: !hoard
+                    done
+                  with Out_of_memory ->
+                    hoard := [];
+                    raise Out_of_memory);
+                 hoard := []
                | _ -> ())
 
 let read_file path =
@@ -332,9 +346,45 @@ let job_limits (j : job_spec) =
   in
   if j.job_reduced then Limits.reduced l else l
 
+let engine_result path (rule : Rules.t) message =
+  {
+    Lint.lint_file = path;
+    findings =
+      [
+        {
+          Lint.rule = rule.Rules.code;
+          rule_name = rule.Rules.name;
+          severity = rule.Rules.severity;
+          file = path;
+          line = 0;
+          class_name = "";
+          message;
+        };
+      ];
+    suppressed = [];
+  }
+
+(* The address-space cap this worker runs under (MiB), set by [make_pool]'s
+   after_fork hook inside the child; 0 in uncapped workers and in-process
+   runs. Only used to *render* the limit in the report — enforcement is
+   setrlimit's. *)
+let worker_mem_cap = ref 0
+
+let oom_report () =
+  Report.Resource_limit
+    {
+      class_name = "<worker>";
+      check = "memory";
+      resource = "worker address space MiB";
+      limit = !worker_mem_cap;
+    }
+
 (* The worker function fixed into every pool at fork time. Each job runs
    inside its own [Obs] unit with a fresh ledger, so a worker's 1000th task
-   profiles exactly like its first. *)
+   profiles exactly like its first. An allocation that blows through the
+   worker's RLIMIT_AS cap surfaces here as [Out_of_memory] and is rendered
+   as a resource-limit verdict (exit 3), not a crash: running out of budget
+   is a classified outcome, same as running out of fuel. *)
 let run_job (j : job_spec) : job_result =
   let limits = job_limits j in
   match j.job_mode with
@@ -342,23 +392,35 @@ let run_job (j : job_spec) : job_result =
     let extra_env = env_of_using j.job_using in
     let (output, code), profile =
       Obs.in_unit ~name:j.job_path (fun () ->
-          check_file_raw ~limits ~warnings ~explain ~lint ~extra_env j.job_path)
+          try check_file_raw ~limits ~warnings ~explain ~lint ~extra_env j.job_path
+          with Out_of_memory -> (fault_block j.job_path (oom_report ()), 3))
     in
     { jr_output = output; jr_code = code; jr_lint = None; jr_profile = profile }
   | Job_lint { max_behavior_size; max_star_height } ->
-    fault_hook j.job_path;
     let thresholds = { Lint_semantic.max_behavior_size; max_star_height } in
     let result, profile =
-      Obs.in_unit ~name:j.job_path (fun () -> Lint.lint_path ~limits ~thresholds j.job_path)
+      Obs.in_unit ~name:j.job_path (fun () ->
+          try
+            fault_hook j.job_path;
+            Lint.lint_path ~limits ~thresholds j.job_path
+          with Out_of_memory ->
+            engine_result j.job_path Rules.rule_resource_limit
+              (Printf.sprintf
+                 "linting exceeded the worker's %d MiB address-space cap"
+                 !worker_mem_cap))
     in
     { jr_output = ""; jr_code = 0; jr_lint = Some result; jr_profile = profile }
 
 type pool = (job_spec, job_result) Supervisor.t
 
-let make_pool ?after_fork ?(jobs = 1) () =
-  Supervisor.create ?after_fork
+let make_pool ?(after_fork = fun () -> ()) ?(max_as_mb = 0) ?(jobs = 1) () =
+  let after_fork () =
+    worker_mem_cap := max_as_mb;
+    after_fork ()
+  in
+  Supervisor.create ~after_fork
     ~label:(fun j -> j.job_path)
-    (Supervisor.config ~jobs ())
+    (Supervisor.config ~jobs ~max_as_mb ())
     run_job
 
 let pool_stats = Supervisor.stats
@@ -493,24 +555,6 @@ let exit_code verdicts = List.fold_left (fun acc v -> max acc v.code) 0 verdicts
    variant, so it marshals across the worker pipe — plus the unit's [Obs]
    profile. Results are replayed in input order, so lint output is
    byte-identical for any [-j] level. *)
-
-let engine_result path (rule : Rules.t) message =
-  {
-    Lint.lint_file = path;
-    findings =
-      [
-        {
-          Lint.rule = rule.Rules.code;
-          rule_name = rule.Rules.name;
-          severity = rule.Rules.severity;
-          file = path;
-          line = 0;
-          class_name = "";
-          message;
-        };
-      ];
-    suppressed = [];
-  }
 
 let lint_files ?(jobs = 1) ?(limits = Limits.default)
     ?(thresholds = Lint_semantic.default_thresholds) ?pool ?cache ?(cache_extra = [])

@@ -57,10 +57,16 @@ type pool
     and {!lint_files} jobs. One pool can outlive any number of calls — the
     daemon keeps a single pool across requests so workers stay hot. *)
 
-val make_pool : ?after_fork:(unit -> unit) -> ?jobs:int -> unit -> pool
+val make_pool :
+  ?after_fork:(unit -> unit) -> ?max_as_mb:int -> ?jobs:int -> unit -> pool
 (** Build a pool of [jobs] (default 1) persistent workers. Workers are
     forked lazily on first use; [after_fork] runs in each child right after
-    the fork (the daemon closes its listening socket there). *)
+    the fork (the daemon closes its listening socket there). With
+    [max_as_mb > 0] each worker's address space is capped via
+    setrlimit(RLIMIT_AS): a check or lint unit that balloons past the cap
+    fails with a rendered resource-limit verdict (exit 3, same class as
+    running out of fuel) instead of a crash — and instead of inviting the
+    host OOM killer. *)
 
 val pool_stats : pool -> Supervisor.stats
 val pool_worker_pids : pool -> int list
@@ -199,7 +205,10 @@ val fault_hook : string -> unit
     containing [SUBSTR] misbehaves before parsing: [hang] spins forever
     (exercises the deadline killer), [crash] raises SIGKILL against its own
     process (exercises crash isolation), [slow] sleeps one second and then
-    proceeds normally (gives drain tests an in-flight window). The
-    supervisor-level kinds ([garbage], [wedge], [forkfail]) are documented
-    at {!Supervisor.fault_injection}. Inert in normal operation; ignored
+    proceeds normally (gives drain tests an in-flight window), [balloon]
+    allocates until the worker's RLIMIT_AS cap raises [Out_of_memory]
+    (exercises the memory-cap classification; bounded at ~4 GiB, so it is
+    a no-op in an uncapped process). The supervisor-level kinds
+    ([garbage], [wedge], [forkfail]) are documented at
+    {!Supervisor.fault_injection}. Inert in normal operation; ignored
     entries are harmless. *)

@@ -287,6 +287,10 @@ let to_list = function
 let mem_str k v = Option.bind (member k v) to_str
 let mem_num k v = Option.bind (member k v) to_num
 
+(* JSON has one number type; every protocol field that is semantically an
+   int goes through this single truncation point. *)
+let mem_int k v = Option.map int_of_float (mem_num k v)
+
 let mem_bool ?(default = false) k v =
   match Option.bind (member k v) to_bool with
   | Some b -> b

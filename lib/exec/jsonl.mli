@@ -38,6 +38,11 @@ val to_list : t -> t list option
 val mem_str : string -> t -> string option
 val mem_num : string -> t -> float option
 
+val mem_int : string -> t -> int option
+(** [mem_num] truncated to [int] — the single conversion point for protocol
+    fields that are semantically integers ([priority], [retry_after_ms],
+    budget knobs). *)
+
 val mem_bool : ?default:bool -> string -> t -> bool
 (** Missing member or type mismatch yields [default] (default [false]). *)
 

@@ -1,23 +1,67 @@
 (* The shelley verification daemon. One process owns a persistent
    Supervisor pool (via Checker) and a Unix-domain listening socket;
-   requests are newline-delimited JSON-RPC, answered strictly in arrival
-   order through the shared pool. The protocol handler is pure string ->
-   string (handle_line), so unit tests drive it without any socket. *)
+   requests are newline-delimited JSON-RPC. The protocol handler is pure
+   string -> string (handle_line), so unit tests drive it without any
+   socket.
+
+   Overload safety is layered in front of the pool:
+
+   - every per-connection read buffer is bounded ([max_frame_bytes]): an
+     oversized frame gets a structured [frame_too_large] error and the
+     connection is closed, so one hostile client cannot OOM the daemon
+     with a single unbounded line;
+   - a per-connection read deadline ([read_deadline]) reaps slow-loris
+     clients that start a frame and never finish it (idle clients with
+     *no* partial frame are welcome to stay connected);
+   - [check]/[lint] requests pass a bounded {!Admission} queue: a full
+     queue sheds with a structured [overloaded] error carrying a
+     [retry_after_ms] hint; a queued request whose deadline passes is
+     answered [expired] and never dispatched; dispatch is per-client
+     round-robin within a [priority] level, so no client can starve the
+     others. [status] and [shutdown] bypass the queue entirely, so the
+     daemon stays observable while loaded;
+   - worker memory is capped via setrlimit(RLIMIT_AS) (see
+     {!Supervisor.config} [max_as_mb]), so a ballooning check fails as a
+     classified resource limit instead of summoning the OOM killer.
+
+   All daemon-side timers run on the monotonic clock ({!Sysconf}): a
+   wall-clock jump can neither reap a warm pool nor expire a fresh
+   request. *)
+
+type load = {
+  mutable queue_depth : int;
+  queue_cap : int;
+  mutable shed : int;
+  mutable expired : int;
+  mutable frames_oversized : int;
+  mutable conns_reaped : int;
+}
 
 type state = {
   pool : Checker.pool;
   cache : Cache.t option;
   default_timeout : float option;
+  load : load;
   mutable requests : int;
   mutable errors : int;
 }
 
-let make_state ?after_fork ?cache ?default_timeout ~jobs () =
+let make_state ?after_fork ?cache ?default_timeout ?(max_queue = 64)
+    ?(max_worker_mem = 0) ~jobs () =
   Option.iter Cache.defer_writes cache;
   {
-    pool = Checker.make_pool ?after_fork ~jobs ();
+    pool = Checker.make_pool ?after_fork ~max_as_mb:max_worker_mem ~jobs ();
     cache;
     default_timeout;
+    load =
+      {
+        queue_depth = 0;
+        queue_cap = max_queue;
+        shed = 0;
+        expired = 0;
+        frames_oversized = 0;
+        conns_reaped = 0;
+      };
     requests = 0;
     errors = 0;
   }
@@ -33,17 +77,47 @@ let shutdown_state st =
 let num_i n = Jsonl.Num (float_of_int n)
 let ok_response id fields = Jsonl.Obj [ ("id", id); ("result", Jsonl.Obj fields) ]
 
-let error_response ?(code = 2) id msg =
-  Jsonl.Obj [ ("id", id); ("error", Jsonl.Str msg); ("code", num_i code) ]
+(* Degradation-path errors are structured: a stable [error_code] machine
+   key next to the human message, plus [retry_after_ms] where a retry is
+   what the daemon is asking for. Errors without an [error_code] are plain
+   request mistakes (bad JSON, unknown method, bad params). *)
+let error_response ?(code = 2) ?error_code ?retry_after_ms id msg =
+  Jsonl.Obj
+    ([ ("id", id); ("error", Jsonl.Str msg); ("code", num_i code) ]
+    @ (match error_code with
+      | Some ec -> [ ("error_code", Jsonl.Str ec) ]
+      | None -> [])
+    @
+    match retry_after_ms with
+    | Some ms -> [ ("retry_after_ms", num_i ms) ]
+    | None -> [])
+
+let overloaded_response ~retry_after_ms id =
+  error_response ~code:4 ~error_code:"overloaded" ~retry_after_ms id
+    (Printf.sprintf
+       "daemon overloaded: admission queue is full; retry in %dms" retry_after_ms)
+
+let expired_response id =
+  error_response ~code:3 ~error_code:"expired" id
+    "request deadline expired while queued; it was never dispatched"
+
+let frame_too_large_response ~max_frame_bytes =
+  error_response ~code:2 ~error_code:"frame_too_large" Jsonl.Null
+    (Printf.sprintf "frame exceeds the %d-byte limit; closing connection"
+       max_frame_bytes)
+
+let read_timeout_response ~read_deadline =
+  error_response ~code:2 ~error_code:"read_timeout" Jsonl.Null
+    (Printf.sprintf
+       "no complete frame within %gs of the first byte; closing connection"
+       read_deadline)
 
 (* --- request parameters ----------------------------------------------------- *)
 
 let limits_of_params st params =
   let d = Limits.default in
   let int_param key default =
-    match Jsonl.mem_num key params with
-    | Some f -> int_of_float f
-    | None -> default
+    Option.value (Jsonl.mem_int key params) ~default
   in
   let deadline =
     match Jsonl.mem_num "timeout" params with
@@ -106,9 +180,7 @@ let do_lint st id params =
     | Ok format ->
       let d = Lint_semantic.default_thresholds in
       let int_param key default =
-        match Jsonl.mem_num key params with
-        | Some f -> int_of_float f
-        | None -> default
+        Option.value (Jsonl.mem_int key params) ~default
       in
       let thresholds =
         {
@@ -134,6 +206,16 @@ let do_status st id =
       ("pid", num_i (Unix.getpid ()));
       ("requests", num_i st.requests);
       ("errors", num_i st.errors);
+      ( "load",
+        Jsonl.Obj
+          [
+            ("queue_depth", num_i st.load.queue_depth);
+            ("max_queue", num_i st.load.queue_cap);
+            ("shed", num_i st.load.shed);
+            ("expired", num_i st.load.expired);
+            ("frames_oversized", num_i st.load.frames_oversized);
+            ("conns_reaped", num_i st.load.conns_reaped);
+          ] );
       ( "pool",
         Jsonl.Obj
           [
@@ -154,40 +236,92 @@ let do_status st id =
         Jsonl.Arr (List.map num_i (Checker.pool_worker_pids st.pool)) );
     ]
 
-let handle_line st line =
-  let dispatch () =
-    match Jsonl.parse line with
-    | Error msg ->
-      (error_response Jsonl.Null (Printf.sprintf "bad request: %s" msg), `Continue)
-    | Ok req -> (
-      let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
-      match Jsonl.mem_str "method" req with
-      | None -> (error_response id "missing method", `Continue)
-      | Some m -> (
-        let params = Option.value (Jsonl.member "params" req) ~default:(Jsonl.Obj []) in
-        st.requests <- st.requests + 1;
-        Obs.count "serve.requests" 1;
-        match m with
-        | "check" -> (do_check st id params, `Continue)
-        | "lint" -> (do_lint st id params, `Continue)
-        | "status" -> (do_status st id, `Continue)
-        | "shutdown" -> (ok_response id [ ("ok", Jsonl.Bool true) ], `Shutdown)
-        | m -> (error_response id ("unknown method: " ^ m), `Continue)))
-  in
-  let resp, k =
-    (* The handler must outlive any single request: an unexpected exception
-       becomes an error response on that request, never a dead daemon. *)
-    match dispatch () with
-    | r -> r
-    | exception exn ->
-      (error_response Jsonl.Null ("internal error: " ^ Printexc.to_string exn), `Continue)
-  in
+(* --- classification ----------------------------------------------------------
+
+   One request line either gets an immediate reply (status, shutdown, and
+   every malformed request — all cheap, all answered at read time, so the
+   daemon stays observable however deep the work queue is) or is verifiable
+   *work* to be run through admission control. [handle_line] executes work
+   immediately — the admission queue is the socket loop's business — so its
+   pure request->response contract (and every test built on it) is
+   unchanged. *)
+
+type work = {
+  w_id : Jsonl.t;
+  w_kind : [ `Check | `Lint ];
+  w_params : Jsonl.t;
+  w_priority : int;
+  w_deadline_ms : float option;  (* max queue wait the client will accept *)
+}
+
+type classified =
+  | Reply of Jsonl.t * [ `Continue | `Shutdown ]
+  | Admit of work
+
+let classify st line =
+  match Jsonl.parse line with
+  | Error msg ->
+    Reply (error_response Jsonl.Null (Printf.sprintf "bad request: %s" msg), `Continue)
+  | Ok req -> (
+    let id = Option.value (Jsonl.member "id" req) ~default:Jsonl.Null in
+    match Jsonl.mem_str "method" req with
+    | None -> Reply (error_response id "missing method", `Continue)
+    | Some m -> (
+      let params = Option.value (Jsonl.member "params" req) ~default:(Jsonl.Obj []) in
+      st.requests <- st.requests + 1;
+      Obs.count "serve.requests" 1;
+      let work kind =
+        Admit
+          {
+            w_id = id;
+            w_kind = kind;
+            w_params = params;
+            w_priority = Option.value (Jsonl.mem_int "priority" params) ~default:0;
+            w_deadline_ms = Jsonl.mem_num "deadline_ms" params;
+          }
+      in
+      match m with
+      | "check" -> work `Check
+      | "lint" -> work `Lint
+      | "status" -> Reply (do_status st id, `Continue)
+      | "shutdown" -> Reply (ok_response id [ ("ok", Jsonl.Bool true) ], `Shutdown)
+      | m -> Reply (error_response id ("unknown method: " ^ m), `Continue)))
+
+(* Work can fail arbitrarily (the pool, the cache, the filesystem): an
+   unexpected exception becomes an error response on that request, never a
+   dead daemon. *)
+let execute st (w : work) =
+  match
+    match w.w_kind with
+    | `Check -> do_check st w.w_id w.w_params
+    | `Lint -> do_lint st w.w_id w.w_params
+  with
+  | resp -> resp
+  | exception exn ->
+    error_response w.w_id ("internal error: " ^ Printexc.to_string exn)
+
+(* Every response funnels through here so the error ledger can't drift
+   between the in-process handler and the socket loop. *)
+let track st resp =
   (match resp with
   | Jsonl.Obj fields when List.mem_assoc "error" fields ->
     st.errors <- st.errors + 1;
     Obs.count "serve.errors" 1
   | _ -> ());
-  (Jsonl.to_string resp, k)
+  resp
+
+let handle_line st line =
+  match
+    match classify st line with
+    | Reply (resp, k) -> (resp, k)
+    | Admit w -> (execute st w, `Continue)
+  with
+  | resp, k -> (Jsonl.to_string (track st resp), k)
+  | exception exn ->
+    ( Jsonl.to_string
+        (track st
+           (error_response Jsonl.Null ("internal error: " ^ Printexc.to_string exn))),
+      `Continue )
 
 (* --- socket plumbing -------------------------------------------------------- *)
 
@@ -199,7 +333,11 @@ let rec write_all fd bytes pos len =
 
 type conn = {
   fd : Unix.file_descr;
+  cid : int;  (* admission-control client identity *)
   rbuf : Buffer.t;
+  mutable partial_since : float;
+      (* monotonic instant the current partial frame started; 0.0 = the
+         buffer is empty (an idle connection is never reaped for slowness) *)
 }
 
 (* Split the buffer's complete lines off, keeping the partial tail. *)
@@ -212,12 +350,81 @@ let take_lines buf =
     Buffer.add_string buf (String.sub s (last + 1) (String.length s - last - 1));
     String.split_on_char '\n' (String.sub s 0 last)
 
-let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.) ?metrics_out
-    () =
-  (* Replace a stale socket from a previous daemon; refuse to clobber
-     anything that is not a socket. *)
+(* --- startup safety ----------------------------------------------------------
+
+   A pre-existing socket file is only stale if nothing is listening on it.
+   Probe with a connect — refusal means the previous daemon is gone and the
+   path can be reclaimed; success means a live daemon owns it, and a second
+   daemon must refuse to steal the socket rather than silently orphan it.
+   A [status] call (bounded wait) decorates the refusal with the pid. *)
+
+let probe_live_daemon socket =
+  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+  | exception Unix.Unix_error _ -> `Stale
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | exception Unix.Unix_error _ -> `Stale
+        | () ->
+          let pid =
+            let line = "{\"id\":0,\"method\":\"status\"}\n" in
+            match write_all fd (Bytes.of_string line) 0 (String.length line) with
+            | exception Unix.Unix_error _ -> None
+            | () ->
+              let deadline = Sysconf.monotonic_time () +. 2.0 in
+              let buf = Buffer.create 256 in
+              let chunk = Bytes.create 4096 in
+              let rec go () =
+                if String.contains (Buffer.contents buf) '\n' then
+                  Option.bind
+                    (Jsonl.parse
+                       (List.hd (String.split_on_char '\n' (Buffer.contents buf)))
+                     |> Result.to_option)
+                    (fun resp ->
+                      Option.bind (Jsonl.member "result" resp) (Jsonl.mem_int "pid"))
+                else begin
+                  let left = deadline -. Sysconf.monotonic_time () in
+                  if left <= 0.0 then None
+                  else
+                    match Unix.select [ fd ] [] [] left with
+                    | [], _, _ -> None
+                    | _ -> (
+                      match Unix.read fd chunk 0 (Bytes.length chunk) with
+                      | 0 -> None
+                      | n ->
+                        Buffer.add_subbytes buf chunk 0 n;
+                        go ()
+                      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+                      | exception Unix.Unix_error _ -> None)
+                end
+              in
+              go ()
+          in
+          `Live pid)
+
+(* --- the daemon loop --------------------------------------------------------- *)
+
+let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
+    ?metrics_out ?(max_queue = 64) ?(max_frame_bytes = 8 * 1024 * 1024)
+    ?(read_deadline = 30.) ?queue_deadline ?(max_worker_mem = 0) () =
+  (* Reclaim a stale socket from a dead daemon; refuse both non-sockets and
+     the socket of a daemon that is still alive. *)
   (match Unix.stat socket with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> (try Unix.unlink socket with Unix.Unix_error _ -> ())
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+    match probe_live_daemon socket with
+    | `Stale -> ( try Unix.unlink socket with Unix.Unix_error _ -> ())
+    | `Live pid ->
+      prerr_endline
+        (Printf.sprintf
+           "shelley serve: a daemon%s is already running on %s; refusing to \
+            steal its socket"
+           (match pid with
+           | Some pid -> Printf.sprintf " (pid %d)" pid
+           | None -> "")
+           socket);
+      exit 2)
   | _ ->
     prerr_endline ("shelley serve: " ^ socket ^ " exists and is not a socket");
     exit 2
@@ -230,7 +437,13 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.) ?metric
       (Printf.sprintf "shelley serve: cannot bind %s: %s" socket (Unix.error_message e));
     exit 2);
   Unix.listen listen_fd 16;
+  (* Nonblocking, so one select round can drain the whole accept backlog:
+     otherwise a burst of connects is admitted one per round, and a client
+     whose connect is still queued behind its siblings' can miss the round
+     in which their requests contend for the admission queue. *)
+  Unix.set_nonblock listen_fd;
   let conns : (Unix.file_descr, conn) Hashtbl.t = Hashtbl.create 8 in
+  let conns_by_cid : (int, conn) Hashtbl.t = Hashtbl.create 8 in
   (* Workers fork lazily, possibly while clients are connected: every
      daemon-side descriptor must close in the child or a worker would hold
      the socket open past the daemon's exit. *)
@@ -238,35 +451,97 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.) ?metric
     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
     Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns
   in
-  let st = make_state ~after_fork ?cache ?default_timeout ~jobs () in
+  let st =
+    make_state ~after_fork ?cache ?default_timeout ~max_queue ~max_worker_mem ~jobs ()
+  in
+  let queue : work Admission.t = Admission.create ~max_queue in
+  let sync_depth () = st.load.queue_depth <- Admission.length queue in
   let draining = ref false in
   let handler = Sys.Signal_handle (fun _ -> draining := true) in
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
+  let next_cid = ref 0 in
   let drop conn =
     Hashtbl.remove conns conn.fd;
+    Hashtbl.remove conns_by_cid conn.cid;
+    ignore (Admission.drop_client queue conn.cid);
+    sync_depth ();
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
-  let respond conn line =
+  let respond conn resp =
+    let line = Jsonl.to_string (track st resp) in
     let payload = Bytes.of_string (line ^ "\n") in
     match write_all conn.fd payload 0 (Bytes.length payload) with
     | () -> ()
     | exception Unix.Unix_error _ -> drop conn
   in
-  (* Serve every complete line this connection has buffered. Returns after
-     the shutdown acknowledgment has been written, so the client that asked
-     always hears the answer. *)
+  let respond_cid cid resp =
+    (* The client may have disconnected while its request was queued or
+       running; its work is then simply discarded. *)
+    match Hashtbl.find_opt conns_by_cid cid with
+    | Some conn -> respond conn resp
+    | None -> ignore (track st resp)
+  in
+  let oversize conn =
+    st.load.frames_oversized <- st.load.frames_oversized + 1;
+    Obs.count_stable "serve.frames_oversized" 1;
+    respond conn (frame_too_large_response ~max_frame_bytes);
+    if Hashtbl.mem conns conn.fd then drop conn
+  in
+  let admit conn (w : work) =
+    let now = Sysconf.monotonic_time () in
+    let deadline =
+      (* The effective queue-wait budget: the tighter of the request's own
+         deadline_ms and the server-wide --queue-deadline, if either. *)
+      let of_ms ms = now +. (ms /. 1000.) in
+      match (w.w_deadline_ms, queue_deadline) with
+      | Some ms, Some qd -> Some (Float.min (of_ms ms) (now +. qd))
+      | Some ms, None -> Some (of_ms ms)
+      | None, Some qd -> Some (now +. qd)
+      | None, None -> None
+    in
+    (match
+       Admission.submit queue ~client:conn.cid ~priority:w.w_priority ~deadline ~now w
+     with
+    | Admission.Admitted -> ()
+    | Admission.Shed retry_after_ms ->
+      st.load.shed <- st.load.shed + 1;
+      Obs.count_stable "serve.shed" 1;
+      respond conn (overloaded_response ~retry_after_ms w.w_id)
+    | Admission.Expired ->
+      st.load.expired <- st.load.expired + 1;
+      Obs.count_stable "serve.expired" 1;
+      respond conn (expired_response w.w_id));
+    sync_depth ()
+  in
+  (* Serve every complete line this connection has buffered: immediate
+     replies (status/shutdown/errors) are written at once — that is what
+     keeps [status] answerable under load — and work goes through
+     admission. The shutdown acknowledgment is written here too, so the
+     client that asked always hears the answer. *)
   let pump conn =
     List.iter
       (fun line ->
-        if String.trim line <> "" then begin
-          let resp, k = handle_line st line in
-          respond conn resp;
-          match k with
-          | `Shutdown -> draining := true
-          | `Continue -> ()
+        if Hashtbl.mem conns conn.fd && String.trim line <> "" then begin
+          if String.length line > max_frame_bytes then oversize conn
+          else
+            match classify st line with
+            | Reply (resp, k) ->
+              respond conn resp;
+              (match k with
+              | `Shutdown -> draining := true
+              | `Continue -> ())
+            | Admit w -> admit conn w
+            | exception exn ->
+              respond conn
+                (error_response Jsonl.Null
+                   ("internal error: " ^ Printexc.to_string exn))
         end)
-      (take_lines conn.rbuf)
+      (take_lines conn.rbuf);
+    if Hashtbl.mem conns conn.fd then
+      if Buffer.length conn.rbuf = 0 then conn.partial_since <- 0.0
+      else if conn.partial_since = 0.0 then
+        conn.partial_since <- Sysconf.monotonic_time ()
   in
   let chunk = Bytes.create 65536 in
   let read_conn conn =
@@ -274,53 +549,128 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.) ?metric
     | 0 -> drop conn
     | n ->
       Buffer.add_subbytes conn.rbuf chunk 0 n;
-      pump conn
+      (* A partial frame larger than any legal frame can never complete:
+         shed it now rather than buffering an attacker's stream forever. *)
+      if
+        Buffer.length conn.rbuf > max_frame_bytes
+        && not (String.contains (Buffer.contents conn.rbuf) '\n')
+      then oversize conn
+      else pump conn
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error _ -> drop conn
   in
-  let last_activity = ref (Unix.gettimeofday ()) in
+  let last_activity = ref (Sysconf.monotonic_time ()) in
   let reaped = ref false in
   while not !draining do
     let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
-    match Unix.select fds [] [] 0.5 with
+    (* With admitted work waiting, only poll — dispatch must not starve
+       behind the select timer. *)
+    let select_timeout = if Admission.length queue > 0 then 0.0 else 0.5 in
+    (match Unix.select fds [] [] select_timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | readable, _, _ ->
       List.iter
         (fun fd ->
           if fd == listen_fd then begin
-            match Unix.accept listen_fd with
-            | client, _ ->
-              Hashtbl.replace conns client { fd = client; rbuf = Buffer.create 256 };
-              last_activity := Unix.gettimeofday ();
-              reaped := false
-            | exception Unix.Unix_error _ -> ()
+            let accepting = ref true in
+            while !accepting do
+              match Unix.accept listen_fd with
+              | client, _ ->
+                (* A client that stops reading must not wedge the daemon on
+                   a blocking response write: bound the write, then drop.
+                   (On Linux the accepted fd does not inherit the listening
+                   socket's nonblocking flag.) *)
+                (try Unix.setsockopt_float client Unix.SO_SNDTIMEO 30.0
+                 with Unix.Unix_error _ -> ());
+                incr next_cid;
+                let conn =
+                  { fd = client; cid = !next_cid; rbuf = Buffer.create 256;
+                    partial_since = 0.0 }
+                in
+                Hashtbl.replace conns client conn;
+                Hashtbl.replace conns_by_cid conn.cid conn;
+                last_activity := Sysconf.monotonic_time ();
+                reaped := false
+              | exception Unix.Unix_error _ -> accepting := false
+            done
           end
           else
             match Hashtbl.find_opt conns fd with
             | Some conn ->
-              last_activity := Unix.gettimeofday ();
+              last_activity := Sysconf.monotonic_time ();
               reaped := false;
               read_conn conn
             | None -> ())
-        readable;
-      (* A dormant daemon holds no worker processes and no unflushed cache
-         entries: both respawn / refill on the next request. *)
-      if
-        (not !reaped)
-        && Hashtbl.length conns = 0
-        && Unix.gettimeofday () -. !last_activity > idle_reap
-      then begin
-        Checker.quiesce_pool st.pool;
-        Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
-        Obs.count "serve.idle_reaps" 1;
-        reaped := true
-      end
+        readable);
+    let now = Sysconf.monotonic_time () in
+    (* Queued requests whose deadline passed are answered, never run. *)
+    List.iter
+      (fun (cid, (w : work)) ->
+        st.load.expired <- st.load.expired + 1;
+        Obs.count_stable "serve.expired" 1;
+        respond_cid cid (expired_response w.w_id))
+      (Admission.expired queue ~now);
+    (* Dispatch exactly one admitted request per iteration, so arrivals,
+       expiries and reaps are re-examined between dispatches. *)
+    (match Admission.next queue with
+    | Some (cid, w) ->
+      sync_depth ();
+      respond_cid cid (execute st w);
+      last_activity := Sysconf.monotonic_time ();
+      reaped := false
+    | None -> sync_depth ());
+    (* Reap slow-loris connections: a partial frame has [read_deadline]
+       seconds to complete, counted from its first byte. *)
+    let stalled =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if conn.partial_since > 0.0 && now -. conn.partial_since > read_deadline
+          then conn :: acc
+          else acc)
+        conns []
+    in
+    List.iter
+      (fun conn ->
+        st.load.conns_reaped <- st.load.conns_reaped + 1;
+        Obs.count_stable "serve.conns_reaped" 1;
+        respond conn (read_timeout_response ~read_deadline);
+        if Hashtbl.mem conns conn.fd then drop conn)
+      stalled;
+    (* A dormant daemon holds no worker processes and no unflushed cache
+       entries: both respawn / refill on the next request. *)
+    if
+      (not !reaped)
+      && Hashtbl.length conns = 0
+      && Sysconf.monotonic_time () -. !last_activity > idle_reap
+    then begin
+      Checker.quiesce_pool st.pool;
+      Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
+      Obs.count "serve.idle_reaps" 1;
+      reaped := true
+    end
   done;
-  (* Graceful drain: answer what has already arrived in full, then flush
-     state and dismantle. In-flight requests finished above — the handler
-     runs to completion even when the signal lands mid-verification (the
+  (* Graceful drain: answer everything fully received — buffered lines are
+     classified and admitted, then the whole queue is dispatched (expiries
+     still honored) — then flush state and dismantle. The handler runs to
+     completion even when the signal lands mid-verification (the
      supervisor retries its selects on EINTR). *)
   Hashtbl.iter (fun _ conn -> pump conn) (Hashtbl.copy conns);
+  let drain_now = Sysconf.monotonic_time () in
+  List.iter
+    (fun (cid, (w : work)) ->
+      st.load.expired <- st.load.expired + 1;
+      Obs.count_stable "serve.expired" 1;
+      respond_cid cid (expired_response w.w_id))
+    (Admission.expired queue ~now:drain_now);
+  let rec drain_queue () =
+    match Admission.next queue with
+    | Some (cid, w) ->
+      sync_depth ();
+      respond_cid cid (execute st w);
+      drain_queue ()
+    | None -> sync_depth ()
+  in
+  drain_queue ();
   Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
   Option.iter
     (fun path ->
@@ -373,3 +723,58 @@ let client_call ~socket line =
             | Some i -> Ok (String.sub s 0 i)
             | None ->
               if s = "" then Error "connection closed without a response" else Ok s)))
+
+(* --- self-healing client ------------------------------------------------------
+
+   The retry loop the CLI client uses: transparently retries the two
+   failures that mean "try again" — a connection that cannot be established
+   (the daemon is restarting, or its socket briefly missing) and a
+   structured [overloaded] shed — under capped exponential backoff with
+   jitter, honoring the daemon's [retry_after_ms] hint as a floor. Every
+   other response (including [expired] and [frame_too_large]) is returned
+   to the caller as-is: retrying those without new information would just
+   reheat the overload.
+
+   The two exhaustion flavors stay distinct so the CLI can exit
+   differently: [`Unreachable] is a connectivity/protocol failure, while
+   [`Overloaded] means the daemon is alive and explicitly shedding. *)
+
+let default_retries = 5
+
+let retryable_shed line =
+  match Jsonl.parse line with
+  | Ok resp when Jsonl.mem_str "error_code" resp = Some "overloaded" ->
+    Some (Option.value (Jsonl.mem_int "retry_after_ms" resp) ~default:0)
+  | _ -> None
+
+let client_request ~socket ?(retries = default_retries) ?(backoff_base_ms = 50)
+    ?(backoff_cap_ms = 2000) ?(sleep = Unix.sleepf) line =
+  let rng = lazy (Random.State.make_self_init ()) in
+  let backoff attempt hint_ms =
+    let exp =
+      float_of_int backoff_base_ms *. (2.0 ** float_of_int attempt)
+      |> Float.min (float_of_int backoff_cap_ms)
+    in
+    let base = Float.max (float_of_int hint_ms) exp in
+    let jitter = 0.75 +. Random.State.float (Lazy.force rng) 0.5 in
+    sleep (base *. jitter /. 1000.0)
+  in
+  let rec attempt k =
+    match client_call ~socket line with
+    | Error msg ->
+      if k >= retries then Error (`Unreachable (k + 1, msg))
+      else begin
+        backoff k 0;
+        attempt (k + 1)
+      end
+    | Ok resp_line -> (
+      match retryable_shed resp_line with
+      | None -> Ok resp_line
+      | Some hint_ms ->
+        if k >= retries then Error (`Overloaded (k + 1, resp_line))
+        else begin
+          backoff k hint_ms;
+          attempt (k + 1)
+        end)
+  in
+  attempt 0

@@ -17,6 +17,7 @@ type config = {
   deadline : float option;
   max_tasks_per_worker : int;
   max_rss_kb : int;
+  max_as_mb : int;  (* setrlimit(RLIMIT_AS) in each worker; 0 = uncapped *)
   max_restarts : int;
   backoff_base : float;
   backoff_cap : float;
@@ -25,14 +26,16 @@ type config = {
 }
 
 let config ?(jobs = 1) ?(batch_size = 8) ?deadline ?(max_tasks_per_worker = 128)
-    ?(max_rss_kb = 512 * 1024) ?(max_restarts = 3) ?(backoff_base = 0.05)
-    ?(backoff_cap = 1.0) ?(heartbeat_interval = 2.0) ?(grace = 0.5) () =
+    ?(max_rss_kb = 512 * 1024) ?(max_as_mb = 0) ?(max_restarts = 3)
+    ?(backoff_base = 0.05) ?(backoff_cap = 1.0) ?(heartbeat_interval = 2.0)
+    ?(grace = 0.5) () =
   {
     jobs = max 1 jobs;
     batch_size = max 1 batch_size;
     deadline;
     max_tasks_per_worker;
     max_rss_kb;
+    max_as_mb = max 0 max_as_mb;
     max_restarts;
     backoff_base;
     backoff_cap;
@@ -448,6 +451,11 @@ let spawn pool slot =
           (try Unix.close p.job_wr with _ -> ());
           (try Unix.close p.res_rd with _ -> ()))
       pool.slots;
+    (* The address-space cap goes on before any task code runs: a
+       ballooning verification then dies on a catchable Out_of_memory
+       inside the worker (classified by the task runner) instead of
+       dragging the whole machine through the OOM killer. *)
+    if pool.cfg.max_as_mb > 0 then ignore (Sysconf.set_rlimit_as pool.cfg.max_as_mb);
     (try pool.after_fork () with _ -> ());
     worker_main ~job_rd ~res_wr pool.run pool.label
   | pid ->

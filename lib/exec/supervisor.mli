@@ -67,6 +67,14 @@ type config = {
   max_rss_kb : int;
       (** recycle an idle worker whose RSS exceeds this (0 = never;
           measured from /proc, a no-op where that is absent) *)
+  max_as_mb : int;
+      (** cap each worker's address space via setrlimit(RLIMIT_AS) right
+          after the fork (0 = uncapped). Unlike [max_rss_kb] — containment
+          of slow leaks in idle workers — this bounds a single ballooning
+          task: the allocation that crosses the cap raises a catchable
+          [Out_of_memory] inside the worker, which the task function can
+          classify (the checker renders it as a resource-limit verdict)
+          instead of the host OOM killer picking a victim *)
   max_restarts : int;
       (** consecutive failed spawns / crashes per slot before the slot is
           written off; when every slot is written off and no worker is
@@ -85,6 +93,7 @@ val config :
   ?deadline:float ->
   ?max_tasks_per_worker:int ->
   ?max_rss_kb:int ->
+  ?max_as_mb:int ->
   ?max_restarts:int ->
   ?backoff_base:float ->
   ?backoff_cap:float ->
@@ -94,8 +103,8 @@ val config :
   config
 (** Defaults: [jobs = 1], [batch_size = 8], no deadline,
     [max_tasks_per_worker = 128], [max_rss_kb = 524288] (512 MB),
-    [max_restarts = 3], [backoff_base = 0.05], [backoff_cap = 1.0],
-    [heartbeat_interval = 2.0], [grace = 0.5]. *)
+    [max_as_mb = 0] (uncapped), [max_restarts = 3], [backoff_base = 0.05],
+    [backoff_cap = 1.0], [heartbeat_interval = 2.0], [grace = 0.5]. *)
 
 type ('t, 'r) t
 (** A pool mapping marshal-safe tasks ['t] to marshal-safe results ['r].

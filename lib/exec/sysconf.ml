@@ -1,0 +1,10 @@
+(* OS primitives behind the overload story (see sysconf_stubs.c). *)
+
+external monotonic_time : unit -> float = "shelley_monotonic_time"
+(** A clock that only moves forward, immune to wall-clock jumps. The origin
+    is arbitrary (boot time on Linux): only differences are meaningful. *)
+
+external set_rlimit_as : int -> bool = "shelley_set_rlimit_as"
+(** [set_rlimit_as mb] caps this process's address space at [mb] MiB (hard
+    and soft). Returns [false] where the OS refused or lacks RLIMIT_AS —
+    callers must treat the cap as best-effort. *)

@@ -75,3 +75,93 @@ entries are flushed, the daemon exits 0 and removes its socket.
   socket removed
   $ find .sc -name '*.entry' | wc -l | tr -d ' '
   2
+
+A second serve on a socket a live daemon owns refuses to steal it — the
+incumbent keeps serving, the challenger exits 2.
+
+  $ shelley serve --socket own.sock -j 1 > own.log 2>&1 &
+  > OWN_PID=$!
+  $ for i in $(seq 1 100); do [ -S own.sock ] && break; sleep 0.1; done
+  $ shelley serve --socket own.sock -j 1 2> clobber.err; echo "exit $?"
+  exit 2
+  $ grep -c 'already running' clobber.err
+  1
+  $ shelley client --socket own.sock status | grep -o '"pid"' | head -1
+  "pid"
+  $ shelley client --socket own.sock shutdown > /dev/null && wait $OWN_PID; echo "daemon exit $?"
+  daemon exit 0
+
+A stale socket left by a SIGKILL-ed daemon is probed, found dead, and
+reclaimed:
+
+  $ shelley serve --socket stale.sock -j 1 > stale.log 2>&1 &
+  > STALE_PID=$!
+  $ for i in $(seq 1 100); do [ -S stale.sock ] && break; sleep 0.1; done
+  $ kill -KILL $STALE_PID; wait $STALE_PID 2> /dev/null; echo "killed exit $?"
+  killed exit 137
+  $ [ -S stale.sock ] && echo socket left behind
+  socket left behind
+  $ shelley serve --socket stale.sock -j 1 > reclaimed.log 2>&1 &
+  > RECLAIM_PID=$!
+  $ for i in $(seq 1 100); do shelley client --socket stale.sock --retries 0 status > /dev/null 2>&1 && break; sleep 0.1; done
+  $ shelley client --socket stale.sock status | grep -o '"requests"'
+  "requests"
+  $ shelley client --socket stale.sock shutdown > /dev/null && wait $RECLAIM_PID; echo "daemon exit $?"
+  daemon exit 0
+
+Overload: with one worker, a one-slot admission queue and a slow
+verification pinning the worker, two simultaneous clients contend for the
+single slot — exactly one is shed with a structured overloaded error
+(exit 4, --retries 0 disables the client's own backoff so the shed is
+observable), the other completes byte-identically to one-shot.
+
+  $ SHELLEY_FAULT=slow:valve shelley serve --socket ov.sock -j 1 --max-queue 1 --fault-injection > ov.log 2>&1 &
+  > OV_PID=$!
+  $ for i in $(seq 1 100); do [ -S ov.sock ] && break; sleep 0.1; done
+  $ shelley client --socket ov.sock check valve.py bad_sector.py > a.out 2>&1 &
+  > A_PID=$!
+  $ sleep 0.4
+  $ shelley client --socket ov.sock --retries 0 check valve.py bad_sector.py > b.out 2>&1 &
+  > B_PID=$!
+  $ shelley client --socket ov.sock --retries 0 check valve.py bad_sector.py > c.out 2>&1 &
+  > C_PID=$!
+  $ wait $A_PID; echo "A exit $?"
+  A exit 1
+  $ wait $B_PID; B_EXIT=$?
+  $ wait $C_PID; C_EXIT=$?
+  $ echo "shed $(( (B_EXIT == 4) + (C_EXIT == 4) ))"
+  shed 1
+  $ grep -l 'overloaded' b.out c.out | wc -l | tr -d ' '
+  1
+  $ cmp oneshot.out a.out && echo identical
+  identical
+  $ shelley client --socket ov.sock status | grep -o '"shed":[0-9]*'
+  "shed":1
+  $ shelley client --socket ov.sock shutdown > /dev/null && wait $OV_PID; echo "daemon exit $?"
+  daemon exit 0
+
+Queued-deadline expiry: while the worker is pinned, a higher-priority
+request claims the next dispatch slot, so a queued request with a 100 ms
+deadline expires before it can run — answered exit 3, never dispatched.
+
+  $ SHELLEY_FAULT=slow:valve shelley serve --socket exp.sock -j 1 --max-queue 8 --fault-injection > exp.log 2>&1 &
+  > EXP_PID=$!
+  $ for i in $(seq 1 100); do [ -S exp.sock ] && break; sleep 0.1; done
+  $ shelley client --socket exp.sock check valve.py > ea.out 2>&1 &
+  > EA_PID=$!
+  $ sleep 0.4
+  $ shelley client --socket exp.sock --priority 1 check valve.py > efill.out 2>&1 &
+  > EFILL_PID=$!
+  $ sleep 0.1
+  $ shelley client --socket exp.sock --retries 0 --deadline-ms 100 check valve.py > eexp.out 2>&1; echo "expired exit $?"
+  expired exit 3
+  $ grep -c 'deadline expired' eexp.out
+  1
+  $ wait $EA_PID; echo "A exit $?"
+  A exit 0
+  $ wait $EFILL_PID; echo "filler exit $?"
+  filler exit 0
+  $ shelley client --socket exp.sock status | grep -o '"expired":[0-9]*'
+  "expired":1
+  $ shelley client --socket exp.sock shutdown > /dev/null && wait $EXP_PID; echo "daemon exit $?"
+  daemon exit 0

@@ -143,20 +143,30 @@ let with_corpus specs f =
 
 (* --- handle_line plumbing ----------------------------------------------------- *)
 
-let with_state ?(jobs = 2) body =
-  let st = Serve.make_state ~jobs () in
+let with_state ?(jobs = 2) ?max_worker_mem body =
+  let st = Serve.make_state ?max_worker_mem ~jobs () in
   Fun.protect ~finally:(fun () -> Serve.shutdown_state st) (fun () -> body st)
 
-let check_request files =
+let request ?priority ?deadline_ms files =
+  let params =
+    [ ("files", Jsonl.Arr (List.map (fun f -> Jsonl.Str f) files)) ]
+    @ (match priority with
+      | Some p -> [ ("priority", Jsonl.Num (float_of_int p)) ]
+      | None -> [])
+    @
+    match deadline_ms with
+    | Some ms -> [ ("deadline_ms", Jsonl.Num ms) ]
+    | None -> []
+  in
   Jsonl.to_string
     (Jsonl.Obj
        [
          ("id", Jsonl.Num 1.);
          ("method", Jsonl.Str "check");
-         ( "params",
-           Jsonl.Obj [ ("files", Jsonl.Arr (List.map (fun f -> Jsonl.Str f) files)) ]
-         );
+         ("params", Jsonl.Obj params);
        ])
+
+let check_request files = request files
 
 (* Extract (output, code) from a result response; fail loudly otherwise. *)
 let result_of resp =
@@ -356,6 +366,401 @@ let test_sigterm_drains_cleanly () =
       | exception _ -> ())
     worker_pids
 
+(* --- Admission scheduling (pure) ------------------------------------------------ *)
+
+let submit_ok q ~client ?(priority = 0) ?deadline payload =
+  match Admission.submit q ~client ~priority ~deadline ~now:0.0 payload with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ -> Alcotest.failf "unexpected shed of %s" payload
+  | Admission.Expired -> Alcotest.failf "unexpected expiry of %s" payload
+
+let drain_order q =
+  let rec go acc =
+    match Admission.next q with
+    | Some (_, p) -> go (p :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let test_admission_fairness () =
+  (* Client 1 floods three requests before clients 2 and 3 queue one and
+     two: dispatch interleaves per client instead of draining the flood. *)
+  let q = Admission.create ~max_queue:16 in
+  submit_ok q ~client:1 "A1";
+  submit_ok q ~client:1 "A2";
+  submit_ok q ~client:1 "A3";
+  submit_ok q ~client:2 "B1";
+  submit_ok q ~client:3 "C1";
+  submit_ok q ~client:3 "C2";
+  Alcotest.(check (list string))
+    "round-robin across clients"
+    [ "A1"; "B1"; "C1"; "A2"; "C2"; "A3" ]
+    (drain_order q)
+
+let test_admission_priority () =
+  let q = Admission.create ~max_queue:16 in
+  submit_ok q ~client:1 "low1";
+  submit_ok q ~client:1 "low2";
+  submit_ok q ~client:2 ~priority:5 "high";
+  Alcotest.(check (list string))
+    "priority preempts arrival and fairness"
+    [ "high"; "low1"; "low2" ] (drain_order q)
+
+let test_admission_shed () =
+  let q = Admission.create ~max_queue:2 in
+  submit_ok q ~client:1 "a";
+  submit_ok q ~client:2 "b";
+  (match Admission.submit q ~client:3 ~priority:0 ~deadline:None ~now:0.0 "c" with
+  | Admission.Shed hint ->
+    Alcotest.(check int) "hint scales with backlog" 200 hint
+  | Admission.Admitted | Admission.Expired -> Alcotest.fail "full queue must shed");
+  Alcotest.(check int) "queue untouched by the shed" 2 (Admission.length q)
+
+let test_admission_expiry () =
+  let q = Admission.create ~max_queue:16 in
+  (* Dead on arrival: the deadline predates submission. *)
+  (match Admission.submit q ~client:1 ~priority:0 ~deadline:(Some 1.0) ~now:2.0 "doa" with
+  | Admission.Expired -> ()
+  | Admission.Admitted | Admission.Shed _ -> Alcotest.fail "past deadline must expire");
+  submit_ok q ~client:1 ~deadline:5.0 "mortal";
+  submit_ok q ~client:2 "patient";
+  Alcotest.(check (list string))
+    "deadline passed while queued"
+    [ "mortal" ]
+    (List.map snd (Admission.expired q ~now:6.0));
+  Alcotest.(check (list string)) "patient request survives" [ "patient" ] (drain_order q)
+
+let test_admission_drop_client () =
+  let q = Admission.create ~max_queue:16 in
+  submit_ok q ~client:1 "a1";
+  submit_ok q ~client:1 "a2";
+  submit_ok q ~client:2 "b1";
+  Alcotest.(check int) "dropped both queued requests" 2 (Admission.drop_client q 1);
+  Alcotest.(check (list string)) "other client unaffected" [ "b1" ] (drain_order q)
+
+(* --- Raw-socket plumbing for the degradation tests ------------------------------- *)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let send_raw fd s =
+  let b = Bytes.of_string s in
+  let rec go pos =
+    if pos < Bytes.length b then go (pos + Unix.write fd b pos (Bytes.length b - pos))
+  in
+  go 0
+
+(* One response line (newline stripped); [None] on timeout or EOF-first. *)
+let recv_line ?(timeout = 15.) fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec go () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | Some i -> Some (String.sub s 0 i)
+    | None ->
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then None
+      else (
+        match Unix.select [ fd ] [] [] left with
+        | [], _, _ -> None
+        | _ -> (
+          match Unix.read fd chunk 0 (Bytes.length chunk) with
+          | 0 -> None
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            go ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ())
+  in
+  go ()
+
+let recv_eof ?(timeout = 10.) fd =
+  let deadline = Unix.gettimeofday () +. timeout in
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    let left = deadline -. Unix.gettimeofday () in
+    if left <= 0.0 then false
+    else
+      match Unix.select [ fd ] [] [] left with
+      | [], _, _ -> false
+      | _ -> (
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> true
+        | _ -> go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error _ -> true)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let spawn_daemon ~socket serve =
+  match Unix.fork () with
+  | 0 -> ( try Unix._exit (serve ()) with _ -> Unix._exit 99)
+  | pid ->
+    if wait_for (fun () -> Sys.file_exists socket) then pid
+    else begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      ignore (waitpid_eintr pid);
+      Alcotest.fail "daemon socket never appeared"
+    end
+
+let graceful_stop ~socket pid =
+  (match Serve.client_call ~socket "{\"id\":99,\"method\":\"shutdown\"}" with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "shutdown request failed: %s" msg);
+  match waitpid_eintr pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, Unix.WEXITED n -> Alcotest.failf "daemon exited %d, not 0" n
+  | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> Alcotest.fail "daemon died by signal"
+
+(* Fork the daemon, run [body], shut down gracefully; SIGKILL it instead if
+   [body] fails, so one failing test never leaks a daemon into the next. *)
+let with_daemon ~socket serve body =
+  let pid = spawn_daemon ~socket serve in
+  match body () with
+  | () -> graceful_stop ~socket pid
+  | exception exn ->
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (waitpid_eintr pid);
+    raise exn
+
+let status_field ~socket field =
+  match Serve.client_call ~socket "{\"id\":7,\"method\":\"status\"}" with
+  | Error msg -> Alcotest.failf "status failed: %s" msg
+  | Ok resp -> (
+    match Jsonl.parse resp with
+    | Error msg -> Alcotest.failf "unparsable status: %s" msg
+    | Ok j ->
+      Option.get (Jsonl.member "result" j)
+      |> Jsonl.member "load" |> Option.get |> Jsonl.mem_num field |> Option.get
+      |> int_of_float)
+
+(* --- Degradation paths, end to end ----------------------------------------------- *)
+
+let test_oversized_frame () =
+  with_corpus [] @@ fun dir _files ->
+  let socket = Filename.concat dir "d.sock" in
+  with_daemon ~socket
+    (fun () -> Serve.serve ~socket ~jobs:1 ~max_frame_bytes:1024 ())
+  @@ fun () ->
+  (* A complete oversized line. *)
+  let fd = raw_connect socket in
+  send_raw fd (String.make 2048 'x' ^ "\n");
+  (match recv_line fd with
+  | Some resp ->
+    Alcotest.(check bool) "structured error" true (contains resp "frame_too_large")
+  | None -> Alcotest.fail "no response to the oversized frame");
+  Alcotest.(check bool) "connection closed" true (recv_eof fd);
+  Unix.close fd;
+  (* A partial frame already larger than any legal frame: shed without
+     waiting for a newline that would only make it bigger. *)
+  let fd2 = raw_connect socket in
+  send_raw fd2 (String.make 2048 'y');
+  (match recv_line fd2 with
+  | Some resp ->
+    Alcotest.(check bool) "partial shed early" true (contains resp "frame_too_large")
+  | None -> Alcotest.fail "no response to the oversized partial");
+  Alcotest.(check bool) "partial's connection closed" true (recv_eof fd2);
+  Unix.close fd2;
+  Alcotest.(check int) "both counted" 2 (status_field ~socket "frames_oversized")
+
+let test_slow_loris_reap () =
+  with_corpus [] @@ fun dir _files ->
+  let socket = Filename.concat dir "d.sock" in
+  with_daemon ~socket
+    (fun () -> Serve.serve ~socket ~jobs:1 ~read_deadline:0.3 ())
+  @@ fun () ->
+  (* An idle connection (no partial frame) must never be reaped... *)
+  let idle = raw_connect socket in
+  (* ...while a connection that starts a frame and stalls must be. *)
+  let loris = raw_connect socket in
+  send_raw loris "{\"id\":1,";
+  (match recv_line ~timeout:10. loris with
+  | Some resp ->
+    Alcotest.(check bool) "structured reap" true (contains resp "read_timeout")
+  | None -> Alcotest.fail "slow-loris connection never reaped");
+  Alcotest.(check bool) "loris closed" true (recv_eof loris);
+  Unix.close loris;
+  (* The idle connection outlived the reap and still gets served. *)
+  send_raw idle "{\"id\":2,\"method\":\"status\"}\n";
+  (match recv_line idle with
+  | Some resp ->
+    Alcotest.(check bool) "idle conn survived and counted the reap" true
+      (contains resp "\"conns_reaped\":1")
+  | None -> Alcotest.fail "idle connection was wrongly reaped");
+  Unix.close idle
+
+let test_queue_full_shed () =
+  with_corpus [ Valve ] @@ fun dir files ->
+  let socket = Filename.concat dir "d.sock" in
+  let slow_file = List.hd files in
+  with_fault "slow:unit_0.py" @@ fun () ->
+  with_daemon ~socket (fun () -> Serve.serve ~socket ~jobs:1 ~max_queue:1 ())
+  @@ fun () ->
+  let a = raw_connect socket
+  and b = raw_connect socket
+  and c = raw_connect socket in
+  (* Accepts happen in connect order: once C answers a status request, all
+     three connections are registered, so B's and C's requests below are
+     guaranteed to contend in the same admission round. *)
+  send_raw c "{\"id\":0,\"method\":\"status\"}\n";
+  (match recv_line c with
+  | Some _ -> ()
+  | None -> Alcotest.fail "status handshake failed");
+  (* A occupies the single worker (the slow fault stalls it ~1 s)... *)
+  send_raw a (check_request [ slow_file ] ^ "\n");
+  Unix.sleepf 0.4;
+  (* ...so B and C are both buffered when the daemon next reads: both are
+     admitted in the same round, the queue holds one, exactly one sheds. *)
+  send_raw b (check_request [ slow_file ] ^ "\n");
+  send_raw c (check_request [ slow_file ] ^ "\n");
+  (match recv_line a with
+  | Some resp ->
+    let _, code = result_of resp in
+    Alcotest.(check int) "the in-flight request completed" 0 code
+  | None -> Alcotest.fail "A never answered");
+  let rb = recv_line b
+  and rc = recv_line c in
+  let is_shed = function
+    | Some resp -> contains resp "\"error_code\":\"overloaded\""
+    | None -> false
+  in
+  Alcotest.(check int)
+    "exactly one of the two sheds" 1
+    (List.length (List.filter is_shed [ rb; rc ]));
+  List.iter
+    (fun r ->
+      match r with
+      | Some resp when is_shed r ->
+        Alcotest.(check bool) "shed carries code 4" true (contains resp "\"code\":4");
+        Alcotest.(check bool)
+          "shed carries a retry hint" true
+          (contains resp "\"retry_after_ms\":")
+      | Some resp ->
+        let _, code = result_of resp in
+        Alcotest.(check int) "the admitted request completed" 0 code
+      | None -> Alcotest.fail "a flood client never answered")
+    [ rb; rc ];
+  Alcotest.(check int) "shed counted" 1 (status_field ~socket "shed");
+  List.iter Unix.close [ a; b; c ]
+
+let test_queued_deadline_expiry () =
+  with_corpus [ Valve ] @@ fun dir files ->
+  let socket = Filename.concat dir "d.sock" in
+  let slow_file = List.hd files in
+  with_fault "slow:unit_0.py" @@ fun () ->
+  with_daemon ~socket (fun () -> Serve.serve ~socket ~jobs:1 ~max_queue:8 ())
+  @@ fun () ->
+  let a = raw_connect socket
+  and b = raw_connect socket
+  and c = raw_connect socket in
+  (* Same handshake as the shed test: all three registered before the flood. *)
+  send_raw c "{\"id\":0,\"method\":\"status\"}\n";
+  (match recv_line c with
+  | Some _ -> ()
+  | None -> Alcotest.fail "status handshake failed");
+  (* A occupies the worker; B (higher priority) is guaranteed the next
+     dispatch slot; C's 100 ms queue budget therefore expires while B's
+     slow verification runs. *)
+  send_raw a (check_request [ slow_file ] ^ "\n");
+  Unix.sleepf 0.4;
+  send_raw b (request ~priority:1 [ slow_file ] ^ "\n");
+  send_raw c (request ~deadline_ms:100. [ slow_file ] ^ "\n");
+  (match recv_line c with
+  | Some resp ->
+    Alcotest.(check bool) "expired, not run" true (contains resp "\"error_code\":\"expired\"");
+    Alcotest.(check bool) "expiry is exit 3" true (contains resp "\"code\":3")
+  | None -> Alcotest.fail "C never answered");
+  List.iter
+    (fun fd ->
+      match recv_line fd with
+      | Some resp ->
+        let _, code = result_of resp in
+        Alcotest.(check int) "dispatched request completed" 0 code
+      | None -> Alcotest.fail "a dispatched request never answered")
+    [ a; b ];
+  Alcotest.(check int) "expiry counted" 1 (status_field ~socket "expired");
+  List.iter Unix.close [ a; b; c ]
+
+let test_worker_mem_cap () =
+  (* A ballooning verification under --max-worker-mem dies on a catchable
+     Out_of_memory inside the worker and is rendered as a resource-limit
+     verdict (exit 3) — same class as running out of fuel, not a crash.
+     512 MiB sits comfortably above the OCaml runtime's own reservations
+     and far below the balloon's 4 GiB bound. *)
+  with_corpus [ Valve ] @@ fun _dir files ->
+  with_fault "balloon:unit_0.py" @@ fun () ->
+  with_state ~jobs:1 ~max_worker_mem:512 @@ fun st ->
+  let resp, _ = Serve.handle_line st (check_request files) in
+  let output, code = result_of resp in
+  Alcotest.(check int) "resource-limit exit code" 3 code;
+  Alcotest.(check bool)
+    "classified, not crashed" true
+    (contains output "RESOURCE LIMIT EXCEEDED");
+  Alcotest.(check bool)
+    "names the cap" true
+    (contains output "worker address space MiB (limit 512)");
+  Alcotest.(check bool) "not a worker crash" false (contains output "WORKER CRASHED")
+
+let test_client_request_backoff () =
+  (* Against a socket nobody listens on: the retry loop must consume its
+     whole budget with capped exponential backoff before reporting
+     unreachable. The sleep seam records the waits. *)
+  let sleeps = ref [] in
+  let sleep s = sleeps := s :: !sleeps in
+  match
+    Serve.client_request ~socket:"/nonexistent/shelley-test.sock" ~retries:3
+      ~backoff_base_ms:10 ~backoff_cap_ms:40 ~sleep "{\"id\":1,\"method\":\"status\"}"
+  with
+  | Ok _ -> Alcotest.fail "connected to a nonexistent socket?"
+  | Error (`Overloaded _) -> Alcotest.fail "misclassified as overloaded"
+  | Error (`Unreachable (attempts, _)) ->
+    Alcotest.(check int) "whole budget consumed" 4 attempts;
+    let waits = List.rev !sleeps in
+    Alcotest.(check int) "one backoff per retry" 3 (List.length waits);
+    (* Expected bases 10, 20, 40 ms; jitter multiplies by [0.75, 1.25). *)
+    List.iteri
+      (fun i w ->
+        let base = float_of_int (10 * (1 lsl i)) /. 1000.0 in
+        Alcotest.(check bool)
+          (Printf.sprintf "wait %d within jitter band" i)
+          true
+          (w >= base *. 0.75 && w <= base *. 1.25))
+      waits
+
+(* --- Drain with idle clients ------------------------------------------------------ *)
+
+let test_drain_with_idle_clients () =
+  with_corpus [] @@ fun dir _files ->
+  let socket = Filename.concat dir "d.sock" in
+  let daemon = spawn_daemon ~socket (fun () -> Serve.serve ~socket ~jobs:1 ()) in
+  match
+    let idles = List.init 3 (fun _ -> raw_connect socket) in
+    Unix.sleepf 0.3;
+    (* connected, no partial frames *)
+    Unix.kill daemon Sys.sigterm;
+    (match waitpid_eintr daemon with
+    | _, Unix.WEXITED 0 -> ()
+    | _, Unix.WEXITED n ->
+      Alcotest.failf "daemon exited %d with idle clients connected" n
+    | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> Alcotest.fail "daemon died by signal");
+    Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
+    List.iter
+      (fun fd ->
+        Alcotest.(check bool) "idle client saw a clean EOF" true (recv_eof fd);
+        Unix.close fd)
+      idles
+  with
+  | () -> ()
+  | exception exn ->
+    (try Unix.kill daemon Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (waitpid_eintr daemon);
+    raise exn
+
 (* --- Suite ---------------------------------------------------------------------- *)
 
 let () =
@@ -368,6 +773,27 @@ let () =
           Alcotest.test_case "handle_line robustness" `Quick test_handle_line_robustness;
           Alcotest.test_case "status reports the pool" `Quick test_status_reports_pool;
         ] );
+      ( "admission",
+        [
+          Alcotest.test_case "per-client round-robin" `Quick test_admission_fairness;
+          Alcotest.test_case "priority levels" `Quick test_admission_priority;
+          Alcotest.test_case "bounded queue sheds" `Quick test_admission_shed;
+          Alcotest.test_case "deadline expiry" `Quick test_admission_expiry;
+          Alcotest.test_case "disconnected client drops" `Quick test_admission_drop_client;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
+          Alcotest.test_case "slow-loris reap" `Quick test_slow_loris_reap;
+          Alcotest.test_case "queue-full shed" `Quick test_queue_full_shed;
+          Alcotest.test_case "queued-deadline expiry" `Quick test_queued_deadline_expiry;
+          Alcotest.test_case "worker memory cap" `Quick test_worker_mem_cap;
+          Alcotest.test_case "client retry backoff" `Quick test_client_request_backoff;
+        ] );
       ( "graceful drain",
-        [ Alcotest.test_case "SIGTERM drains cleanly" `Quick test_sigterm_drains_cleanly ] );
+        [
+          Alcotest.test_case "SIGTERM drains cleanly" `Quick test_sigterm_drains_cleanly;
+          Alcotest.test_case "idle clients see clean EOF" `Quick
+            test_drain_with_idle_clients;
+        ] );
     ]
