@@ -982,6 +982,15 @@ let serve_cmd =
              wait for a worker; beyond it the daemon sheds with a \
              structured $(b,overloaded) error and a retry_after_ms hint.")
   in
+  let max_conns =
+    Arg.(
+      value & opt int 512
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent connection bound (clamped below select's \
+             FD_SETSIZE): a connection accepted beyond it is answered with \
+             a retryable $(b,overloaded) error and closed immediately.")
+  in
   let max_frame_bytes =
     Arg.(
       value
@@ -1030,14 +1039,14 @@ let serve_cmd =
              this daemon and its workers.")
   in
   let run socket jobs timeout idle_reap cache_dir metrics_out max_queue
-      max_frame_bytes read_deadline queue_deadline max_worker_mem
+      max_conns max_frame_bytes read_deadline queue_deadline max_worker_mem
       fault_injection =
     Checker.fault_injection := fault_injection;
     if metrics_out <> None then Obs.enable ();
     let cache = open_cache cache_dir in
     exit
       (Serve.serve ~socket ~jobs ?cache ?default_timeout:timeout ~idle_reap
-         ?metrics_out ~max_queue ~max_frame_bytes ~read_deadline
+         ?metrics_out ~max_queue ~max_conns ~max_frame_bytes ~read_deadline
          ?queue_deadline ~max_worker_mem ())
   in
   Cmd.v
@@ -1062,8 +1071,8 @@ let serve_cmd =
          ])
     Term.(
       const run $ socket_arg $ jobs $ timeout $ idle_reap $ cache_arg
-      $ metrics_out_arg $ max_queue $ max_frame_bytes $ read_deadline
-      $ queue_deadline $ max_worker_mem $ fault_injection)
+      $ metrics_out_arg $ max_queue $ max_conns $ max_frame_bytes
+      $ read_deadline $ queue_deadline $ max_worker_mem $ fault_injection)
 
 let client_cmd =
   let meth =

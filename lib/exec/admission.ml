@@ -10,17 +10,33 @@
      answered [expired], never dispatched — work nobody is waiting for
      anymore is never performed;
    - order: dispatch is per-client round-robin within a priority level
-     (highest [priority] integer first), so one client queueing a hundred
+     (highest effective priority first), so one client queueing a hundred
      requests cannot starve a client queueing one.
+
+   Priority is client-supplied, so it is clamped to a small documented
+   band ([min_priority]..[max_priority]) and queued requests *age*: a
+   request gains one effective priority level per second waited, so even
+   a continuous flood at [max_priority] can only delay lower-priority
+   work by a bounded interval, never starve it.
 
    Pure bookkeeping over an explicit [now] (callers pass a monotonic
    clock), no I/O — unit-testable without a socket in sight. Operations
    are O(queue length); the queue is bounded, so that is a constant. *)
 
+let min_priority = -10
+let max_priority = 10
+let clamp_priority p = max min_priority (min max_priority p)
+
+(* One effective priority level gained per second queued: after
+   [max_priority - min_priority + 1] seconds (~21 s) a waiting request
+   outranks any freshly submitted one, whatever its priority. *)
+let aging_interval = 1.0
+
 type 'a item = {
   seq : int;  (* arrival order, globally increasing *)
   client : int;
-  priority : int;
+  priority : int;  (* already clamped *)
+  enqueued : float;  (* submission instant, caller's clock *)
   deadline : float option;  (* absolute, caller's clock; None = patient *)
   payload : 'a;
 }
@@ -61,7 +77,16 @@ let submit t ~client ~priority ~deadline ~now payload =
   | _ ->
     if length t >= t.max_queue then Shed (retry_after_ms t)
     else begin
-      let item = { seq = t.seq; client; priority; deadline; payload } in
+      let item =
+        {
+          seq = t.seq;
+          client;
+          priority = clamp_priority priority;
+          enqueued = now;
+          deadline;
+          payload;
+        }
+      in
       t.seq <- t.seq + 1;
       t.items <- t.items @ [ item ];
       Admitted
@@ -80,9 +105,10 @@ let expired t ~now =
   t.items <- live;
   List.map (fun item -> (item.client, item.payload)) dead
 
-(* Head-of-line per client, then: max priority; among those, the client
-   served longest ago (never-served wins); among those, arrival order. *)
-let next t =
+(* Head-of-line per client, then: max effective (aged) priority; among
+   those, the client served longest ago (never-served wins); among those,
+   arrival order. *)
+let next t ~now =
   match t.items with
   | [] -> None
   | items ->
@@ -97,12 +123,15 @@ let next t =
     let stamp_of item =
       Option.value (Hashtbl.find_opt t.last_served item.client) ~default:0
     in
+    let effective item =
+      item.priority + max 0 (int_of_float ((now -. item.enqueued) /. aging_interval))
+    in
     let best =
       List.fold_left
         (fun (best : _ item) item ->
           let better =
-            item.priority > best.priority
-            || (item.priority = best.priority
+            effective item > effective best
+            || (effective item = effective best
                && (stamp_of item < stamp_of best
                   || (stamp_of item = stamp_of best && item.seq < best.seq)))
           in

@@ -14,6 +14,26 @@ val create : max_queue:int -> 'a t
 val length : 'a t -> int
 val max_queue : 'a t -> int
 
+val min_priority : int
+(** -10. Client-supplied priorities are clamped to
+    [min_priority..max_priority] at submission: priority is a hint from an
+    untrusted client, so an absurd value must not buy unbounded precedence. *)
+
+val max_priority : int
+(** 10. See {!min_priority}. *)
+
+val clamp_priority : int -> int
+(** Clamp into [min_priority..max_priority] — what {!submit} stores. *)
+
+val aging_interval : float
+(** Seconds per effective-priority level gained while queued (1.0). A
+    queued request's effective priority is
+    [clamped priority + floor(wait / aging_interval)], so after
+    [max_priority - min_priority + 1] seconds (~21 s) any waiting request
+    outranks a freshly submitted one at [max_priority]: a continuous
+    high-priority flood delays low-priority work by a bounded interval,
+    never starves it. *)
+
 val retry_after_ms : 'a t -> int
 (** The backoff hint a shed client receives: proportional to the backlog,
     clamped to [100..5000] ms. Deterministic — the {e client} adds jitter —
@@ -32,22 +52,24 @@ val submit :
   now:float ->
   'a ->
   'a verdict
-(** Try to enqueue a request from [client]. [deadline] is absolute on the
-    caller's clock; [None] waits indefinitely. The queue is never grown
-    past [max_queue] — a full queue sheds immediately rather than
-    buffering unboundedly. *)
+(** Try to enqueue a request from [client]. [priority] is clamped (see
+    {!min_priority}); [deadline] is absolute on the caller's clock; [None]
+    waits indefinitely. The queue is never grown past [max_queue] — a full
+    queue sheds immediately rather than buffering unboundedly. *)
 
 val expired : 'a t -> now:float -> (int * 'a) list
 (** Remove and return every queued request whose deadline has passed, in
     arrival order, as [(client, payload)] pairs — the daemon answers each
     with a structured [expired] error and never dispatches it. *)
 
-val next : 'a t -> (int * 'a) option
+val next : 'a t -> now:float -> (int * 'a) option
 (** Dispatch the next request: among each client's head-of-line request,
-    pick the highest [priority]; within a priority level, the client served
-    longest ago (round-robin, never-served first); ties break by arrival.
-    One client queueing a hundred requests therefore cannot starve a
-    client queueing one. *)
+    pick the highest effective priority — clamped priority plus the aging
+    credit earned since submission (see {!aging_interval}); within a
+    level, the client served longest ago (round-robin, never-served
+    first); ties break by arrival. One client queueing a hundred requests
+    therefore cannot starve a client queueing one, and no priority value
+    can starve lower-priority clients indefinitely. *)
 
 val drop_client : 'a t -> int -> int
 (** Remove every queued request of a disconnected client (their responses

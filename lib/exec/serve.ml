@@ -31,10 +31,13 @@
 type load = {
   mutable queue_depth : int;
   queue_cap : int;
+  mutable conns : int;
+  conns_cap : int;
   mutable shed : int;
   mutable expired : int;
   mutable frames_oversized : int;
   mutable conns_reaped : int;
+  mutable conns_rejected : int;
 }
 
 type state = {
@@ -47,7 +50,7 @@ type state = {
 }
 
 let make_state ?after_fork ?cache ?default_timeout ?(max_queue = 64)
-    ?(max_worker_mem = 0) ~jobs () =
+    ?(max_conns = 512) ?(max_worker_mem = 0) ~jobs () =
   Option.iter Cache.defer_writes cache;
   {
     pool = Checker.make_pool ?after_fork ~max_as_mb:max_worker_mem ~jobs ();
@@ -57,10 +60,13 @@ let make_state ?after_fork ?cache ?default_timeout ?(max_queue = 64)
       {
         queue_depth = 0;
         queue_cap = max_queue;
+        conns = 0;
+        conns_cap = max_conns;
         shed = 0;
         expired = 0;
         frames_oversized = 0;
         conns_reaped = 0;
+        conns_rejected = 0;
       };
     requests = 0;
     errors = 0;
@@ -100,6 +106,15 @@ let overloaded_response ~retry_after_ms id =
 let expired_response id =
   error_response ~code:3 ~error_code:"expired" id
     "request deadline expired while queued; it was never dispatched"
+
+(* A connection refused at accept time, before any request: same
+   [overloaded] error code as a queue shed, so self-healing clients back
+   off and retry rather than giving up, but counted separately
+   ([conns_rejected]) so queue sheds stay deterministic. *)
+let connection_limit_response ~max_conns =
+  error_response ~code:4 ~error_code:"overloaded" ~retry_after_ms:1000 Jsonl.Null
+    (Printf.sprintf
+       "daemon overloaded: at its %d-connection limit; retry in 1000ms" max_conns)
 
 let frame_too_large_response ~max_frame_bytes =
   error_response ~code:2 ~error_code:"frame_too_large" Jsonl.Null
@@ -211,10 +226,13 @@ let do_status st id =
           [
             ("queue_depth", num_i st.load.queue_depth);
             ("max_queue", num_i st.load.queue_cap);
+            ("conns", num_i st.load.conns);
+            ("max_conns", num_i st.load.conns_cap);
             ("shed", num_i st.load.shed);
             ("expired", num_i st.load.expired);
             ("frames_oversized", num_i st.load.frames_oversized);
             ("conns_reaped", num_i st.load.conns_reaped);
+            ("conns_rejected", num_i st.load.conns_rejected);
           ] );
       ( "pool",
         Jsonl.Obj
@@ -332,13 +350,30 @@ let rec write_all fd bytes pos len =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes pos len
 
 type conn = {
-  fd : Unix.file_descr;
+  fd : Unix.file_descr;  (* nonblocking *)
   cid : int;  (* admission-control client identity *)
   rbuf : Buffer.t;
   mutable partial_since : float;
       (* monotonic instant the current partial frame started; 0.0 = the
          buffer is empty (an idle connection is never reaped for slowness) *)
+  wq : string Queue.t;
+      (* pending response lines (newline included): responses are never
+         written synchronously — a client that stops reading fills its own
+         buffer here, not the daemon's one thread *)
+  mutable wpos : int;  (* written prefix of the head of [wq] *)
+  mutable wbytes : int;  (* total bytes pending across [wq] *)
+  mutable write_since : float;
+      (* monotonic instant of the last write progress while data is
+         pending; 0.0 = nothing pending *)
+  mutable closing : bool;  (* drop as soon as [wq] drains *)
 }
+
+let pending conn = conn.wbytes
+
+(* A stalled reader may buffer this much undelivered response data before
+   the connection is reaped — bounded, so N hostile clients cost at most
+   N * 32 MiB, never unbounded daemon growth. *)
+let max_write_buffer = 32 * 1024 * 1024
 
 (* Split the buffer's complete lines off, keeping the partial tail. *)
 let take_lines buf =
@@ -353,21 +388,54 @@ let take_lines buf =
 (* --- startup safety ----------------------------------------------------------
 
    A pre-existing socket file is only stale if nothing is listening on it.
-   Probe with a connect — refusal means the previous daemon is gone and the
+   Probe with a nonblocking connect (a blocking one could hang startup
+   indefinitely against a live daemon with a full backlog) — only a clean
+   refusal (ECONNREFUSED/ENOENT) means the previous daemon is gone and the
    path can be reclaimed; success means a live daemon owns it, and a second
-   daemon must refuse to steal the socket rather than silently orphan it.
-   A [status] call (bounded wait) decorates the refusal with the pid. *)
+   daemon must refuse to steal the socket rather than silently orphan it;
+   any *other* failure (EACCES, EINTR, ...) proves nothing, so the safe
+   answer is "assume live, refuse to start" rather than unlink a socket a
+   healthy daemon may still be serving. A [status] call (bounded wait)
+   decorates the refusal with the pid. *)
 
 let probe_live_daemon socket =
   match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error _ -> `Stale
+  | exception Unix.Unix_error (e, _, _) -> `Undetermined (Unix.error_message e)
   | fd ->
     Fun.protect
       ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
       (fun () ->
-        match Unix.connect fd (Unix.ADDR_UNIX socket) with
-        | exception Unix.Unix_error _ -> `Stale
-        | () ->
+        (try Unix.set_nonblock fd with Unix.Unix_error _ -> ());
+        let outcome =
+          match Unix.connect fd (Unix.ADDR_UNIX socket) with
+          | () -> `Connected
+          | exception
+              Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) ->
+            `Refused
+          | exception
+              Unix.Unix_error
+                ( (Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR),
+                  _,
+                  _ ) -> (
+            match Unix.select [] [ fd ] [] 2.0 with
+            | _, _ :: _, _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> `Connected
+              | Some (Unix.ECONNREFUSED | Unix.ENOENT) -> `Refused
+              | Some e -> `Error e)
+            | _ ->
+              (* No resolution within the window: something is listening
+                 but its backlog is full — a live, if swamped, daemon. *)
+              `Busy
+            | exception Unix.Unix_error _ -> `Busy)
+          | exception Unix.Unix_error (e, _, _) -> `Error e
+        in
+        match outcome with
+        | `Refused -> `Stale
+        | `Busy -> `Live None
+        | `Error e -> `Undetermined (Unix.error_message e)
+        | `Connected ->
+          (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
           let pid =
             let line = "{\"id\":0,\"method\":\"status\"}\n" in
             match write_all fd (Bytes.of_string line) 0 (String.length line) with
@@ -407,14 +475,26 @@ let probe_live_daemon socket =
 (* --- the daemon loop --------------------------------------------------------- *)
 
 let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
-    ?metrics_out ?(max_queue = 64) ?(max_frame_bytes = 8 * 1024 * 1024)
-    ?(read_deadline = 30.) ?queue_deadline ?(max_worker_mem = 0) () =
+    ?metrics_out ?(max_queue = 64) ?(max_conns = 512)
+    ?(max_frame_bytes = 8 * 1024 * 1024) ?(read_deadline = 30.) ?queue_deadline
+    ?(max_worker_mem = 0) () =
+  (* select(2) rejects fds >= FD_SETSIZE (1024): keep the connection count
+     comfortably below it so worker pipes and cache fds still fit. *)
+  let max_conns = max 1 (min max_conns 960) in
   (* Reclaim a stale socket from a dead daemon; refuse both non-sockets and
      the socket of a daemon that is still alive. *)
   (match Unix.stat socket with
   | { Unix.st_kind = Unix.S_SOCK; _ } -> (
     match probe_live_daemon socket with
     | `Stale -> ( try Unix.unlink socket with Unix.Unix_error _ -> ())
+    | `Undetermined reason ->
+      prerr_endline
+        (Printf.sprintf
+           "shelley serve: cannot tell whether a daemon still owns %s (%s); \
+            refusing to start — remove the socket manually if its daemon is \
+            gone"
+           socket reason);
+      exit 2
     | `Live pid ->
       prerr_endline
         (Printf.sprintf
@@ -452,10 +532,12 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
     Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) conns
   in
   let st =
-    make_state ~after_fork ?cache ?default_timeout ~max_queue ~max_worker_mem ~jobs ()
+    make_state ~after_fork ?cache ?default_timeout ~max_queue ~max_conns
+      ~max_worker_mem ~jobs ()
   in
   let queue : work Admission.t = Admission.create ~max_queue in
   let sync_depth () = st.load.queue_depth <- Admission.length queue in
+  let sync_conns () = st.load.conns <- Hashtbl.length conns in
   let draining = ref false in
   let handler = Sys.Signal_handle (fun _ -> draining := true) in
   Sys.set_signal Sys.sigterm handler;
@@ -466,14 +548,55 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
     Hashtbl.remove conns_by_cid conn.cid;
     ignore (Admission.drop_client queue conn.cid);
     sync_depth ();
+    sync_conns ();
     try Unix.close conn.fd with Unix.Unix_error _ -> ()
   in
+  (* A connection is done for once it is closing or already dropped:
+     buffered input from it must not be served. *)
+  let conn_live conn = Hashtbl.mem conns conn.fd && not conn.closing in
+  (* Drain as much of [conn]'s pending output as the socket accepts right
+     now; the select writable set calls back for the rest. Never blocks —
+     a stalled reader costs an O(1) EAGAIN, not a wedged daemon. *)
+  let rec flush_conn conn =
+    if pending conn = 0 then begin
+      conn.write_since <- 0.0;
+      if conn.closing && Hashtbl.mem conns conn.fd then drop conn
+    end
+    else
+      let line = Queue.peek conn.wq in
+      let len = String.length line in
+      match Unix.write_substring conn.fd line conn.wpos (len - conn.wpos) with
+      | k ->
+        conn.wbytes <- conn.wbytes - k;
+        conn.wpos <- conn.wpos + k;
+        conn.write_since <- Sysconf.monotonic_time ();
+        if conn.wpos >= len then begin
+          ignore (Queue.pop conn.wq);
+          conn.wpos <- 0
+        end;
+        flush_conn conn
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> flush_conn conn
+      | exception Unix.Unix_error _ -> drop conn
+  in
   let respond conn resp =
-    let line = Jsonl.to_string (track st resp) in
-    let payload = Bytes.of_string (line ^ "\n") in
-    match write_all conn.fd payload 0 (Bytes.length payload) with
-    | () -> ()
-    | exception Unix.Unix_error _ -> drop conn
+    let line = Jsonl.to_string (track st resp) ^ "\n" in
+    Queue.push line conn.wq;
+    conn.wbytes <- conn.wbytes + String.length line;
+    if conn.write_since = 0.0 then conn.write_since <- Sysconf.monotonic_time ();
+    if pending conn > max_write_buffer then begin
+      (* The client has stopped reading: nothing we queue can reach it. *)
+      st.load.conns_reaped <- st.load.conns_reaped + 1;
+      Obs.count_stable "serve.conns_reaped" 1;
+      drop conn
+    end
+    else flush_conn conn
+  in
+  (* Close once everything queued (typically a final error) is delivered;
+     the write-stall reaper bounds how long that delivery may take. *)
+  let close_after_flush conn =
+    conn.closing <- true;
+    if pending conn = 0 && Hashtbl.mem conns conn.fd then drop conn
   in
   let respond_cid cid resp =
     (* The client may have disconnected while its request was queued or
@@ -486,7 +609,7 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
     st.load.frames_oversized <- st.load.frames_oversized + 1;
     Obs.count_stable "serve.frames_oversized" 1;
     respond conn (frame_too_large_response ~max_frame_bytes);
-    if Hashtbl.mem conns conn.fd then drop conn
+    if Hashtbl.mem conns conn.fd then close_after_flush conn
   in
   let admit conn (w : work) =
     let now = Sysconf.monotonic_time () in
@@ -522,7 +645,7 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
   let pump conn =
     List.iter
       (fun line ->
-        if Hashtbl.mem conns conn.fd && String.trim line <> "" then begin
+        if conn_live conn && String.trim line <> "" then begin
           if String.length line > max_frame_bytes then oversize conn
           else
             match classify st line with
@@ -538,37 +661,88 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
                    ("internal error: " ^ Printexc.to_string exn))
         end)
       (take_lines conn.rbuf);
-    if Hashtbl.mem conns conn.fd then
-      if Buffer.length conn.rbuf = 0 then conn.partial_since <- 0.0
+    if conn_live conn then
+      if Buffer.length conn.rbuf > max_frame_bytes then
+        (* The partial tail alone already exceeds any legal frame. *)
+        oversize conn
+      else if Buffer.length conn.rbuf = 0 then conn.partial_since <- 0.0
       else if conn.partial_since = 0.0 then
         conn.partial_since <- Sysconf.monotonic_time ()
   in
   let chunk = Bytes.create 65536 in
+  (* Does the newly read chunk contain a newline? Scanning only the chunk
+     (never the accumulated buffer) keeps a hostile near-limit partial
+     frame O(bytes received) instead of O(bytes^2). *)
+  let chunk_has_nl n =
+    let rec go i = i < n && (Bytes.get chunk i = '\n' || go (i + 1)) in
+    go 0
+  in
   let read_conn conn =
     match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
     | 0 -> drop conn
     | n ->
       Buffer.add_subbytes conn.rbuf chunk 0 n;
-      (* A partial frame larger than any legal frame can never complete:
-         shed it now rather than buffering an attacker's stream forever. *)
-      if
-        Buffer.length conn.rbuf > max_frame_bytes
-        && not (String.contains (Buffer.contents conn.rbuf) '\n')
-      then oversize conn
-      else pump conn
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      if chunk_has_nl n then pump conn
+        (* No newline arrived, so the buffer still holds one partial
+           frame (pump always consumes through the last newline). A
+           partial frame larger than any legal frame can never complete:
+           shed it now rather than buffering an attacker's stream. *)
+      else if Buffer.length conn.rbuf > max_frame_bytes then oversize conn
+      else if conn.partial_since = 0.0 then
+        conn.partial_since <- Sysconf.monotonic_time ()
+    | exception
+        Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()
     | exception Unix.Unix_error _ -> drop conn
   in
   let last_activity = ref (Sysconf.monotonic_time ()) in
   let reaped = ref false in
+  (* select refused our fd set (EBADF from a descriptor closed under us,
+     EINVAL past FD_SETSIZE): self-heal by dropping what is verifiably
+     dead, and failing that shed the newest connection — degraded service
+     beats an uncaught exception that skips every cleanup on the way out. *)
+  let shed_broken () =
+    let dead =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          match Unix.fstat conn.fd with
+          | _ -> acc
+          | exception Unix.Unix_error _ -> conn :: acc)
+        conns []
+    in
+    match dead with
+    | _ :: _ -> List.iter drop dead
+    | [] ->
+      Hashtbl.fold
+        (fun _ (conn : conn) acc ->
+          match acc with
+          | Some (newest : conn) when newest.cid >= conn.cid -> acc
+          | _ -> Some conn)
+        conns None
+      |> Option.iter (fun conn ->
+             st.load.conns_reaped <- st.load.conns_reaped + 1;
+             Obs.count_stable "serve.conns_reaped" 1;
+             drop conn)
+  in
   while not !draining do
-    let fds = listen_fd :: Hashtbl.fold (fun fd _ acc -> fd :: acc) conns [] in
+    let rfds =
+      listen_fd
+      :: Hashtbl.fold
+           (fun fd conn acc -> if conn.closing then acc else fd :: acc)
+           conns []
+    in
+    let wfds =
+      Hashtbl.fold
+        (fun fd conn acc -> if pending conn > 0 then fd :: acc else acc)
+        conns []
+    in
     (* With admitted work waiting, only poll — dispatch must not starve
        behind the select timer. *)
     let select_timeout = if Admission.length queue > 0 then 0.0 else 0.5 in
-    (match Unix.select fds [] [] select_timeout with
+    (match Unix.select rfds wfds [] select_timeout with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
+    | exception Unix.Unix_error _ -> shed_broken ()
+    | readable, writable, _ ->
       List.iter
         (fun fd ->
           if fd == listen_fd then begin
@@ -576,21 +750,42 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
             while !accepting do
               match Unix.accept listen_fd with
               | client, _ ->
-                (* A client that stops reading must not wedge the daemon on
-                   a blocking response write: bound the write, then drop.
-                   (On Linux the accepted fd does not inherit the listening
-                   socket's nonblocking flag.) *)
-                (try Unix.setsockopt_float client Unix.SO_SNDTIMEO 30.0
-                 with Unix.Unix_error _ -> ());
-                incr next_cid;
-                let conn =
-                  { fd = client; cid = !next_cid; rbuf = Buffer.create 256;
-                    partial_since = 0.0 }
-                in
-                Hashtbl.replace conns client conn;
-                Hashtbl.replace conns_by_cid conn.cid conn;
-                last_activity := Sysconf.monotonic_time ();
-                reaped := false
+                if Hashtbl.length conns >= max_conns then begin
+                  (* At the connection cap (kept below FD_SETSIZE so select
+                     keeps working): refuse with a structured, retryable
+                     error rather than crash later or hang the client. *)
+                  st.load.conns_rejected <- st.load.conns_rejected + 1;
+                  Obs.count_stable "serve.conns_rejected" 1;
+                  let line =
+                    Jsonl.to_string
+                      (track st (connection_limit_response ~max_conns))
+                    ^ "\n"
+                  in
+                  (try Unix.set_nonblock client with Unix.Unix_error _ -> ());
+                  (try
+                     ignore
+                       (Unix.write_substring client line 0 (String.length line))
+                   with Unix.Unix_error _ -> ());
+                  try Unix.close client with Unix.Unix_error _ -> ()
+                end
+                else begin
+                  (* Client fds are nonblocking: reads that would block are
+                     skipped and writes buffer in [wq], so no single client
+                     can stall the loop. (The accepted fd does not inherit
+                     the listening socket's nonblocking flag on Linux.) *)
+                  (try Unix.set_nonblock client with Unix.Unix_error _ -> ());
+                  incr next_cid;
+                  let conn =
+                    { fd = client; cid = !next_cid; rbuf = Buffer.create 256;
+                      partial_since = 0.0; wq = Queue.create (); wpos = 0;
+                      wbytes = 0; write_since = 0.0; closing = false }
+                  in
+                  Hashtbl.replace conns client conn;
+                  Hashtbl.replace conns_by_cid conn.cid conn;
+                  sync_conns ();
+                  last_activity := Sysconf.monotonic_time ();
+                  reaped := false
+                end
               | exception Unix.Unix_error _ -> accepting := false
             done
           end
@@ -601,7 +796,13 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
               reaped := false;
               read_conn conn
             | None -> ())
-        readable);
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt conns fd with
+          | Some conn -> flush_conn conn
+          | None -> ())
+        writable);
     let now = Sysconf.monotonic_time () in
     (* Queued requests whose deadline passed are answered, never run. *)
     List.iter
@@ -612,7 +813,7 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
       (Admission.expired queue ~now);
     (* Dispatch exactly one admitted request per iteration, so arrivals,
        expiries and reaps are re-examined between dispatches. *)
-    (match Admission.next queue with
+    (match Admission.next queue ~now with
     | Some (cid, w) ->
       sync_depth ();
       respond_cid cid (execute st w);
@@ -624,7 +825,10 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
     let stalled =
       Hashtbl.fold
         (fun _ conn acc ->
-          if conn.partial_since > 0.0 && now -. conn.partial_since > read_deadline
+          if
+            (not conn.closing)
+            && conn.partial_since > 0.0
+            && now -. conn.partial_since > read_deadline
           then conn :: acc
           else acc)
         conns []
@@ -634,8 +838,26 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
         st.load.conns_reaped <- st.load.conns_reaped + 1;
         Obs.count_stable "serve.conns_reaped" 1;
         respond conn (read_timeout_response ~read_deadline);
-        if Hashtbl.mem conns conn.fd then drop conn)
+        if Hashtbl.mem conns conn.fd then close_after_flush conn)
       stalled;
+    (* Reap write-stalled connections: pending output that has made no
+       progress for [read_deadline] seconds will never be delivered — the
+       peer has stopped reading. No farewell response; it could not be
+       delivered either. *)
+    let write_stalled =
+      Hashtbl.fold
+        (fun _ conn acc ->
+          if conn.write_since > 0.0 && now -. conn.write_since > read_deadline
+          then conn :: acc
+          else acc)
+        conns []
+    in
+    List.iter
+      (fun conn ->
+        st.load.conns_reaped <- st.load.conns_reaped + 1;
+        Obs.count_stable "serve.conns_reaped" 1;
+        drop conn)
+      write_stalled;
     (* A dormant daemon holds no worker processes and no unflushed cache
        entries: both respawn / refill on the next request. *)
     if
@@ -663,7 +885,7 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
       respond_cid cid (expired_response w.w_id))
     (Admission.expired queue ~now:drain_now);
   let rec drain_queue () =
-    match Admission.next queue with
+    match Admission.next queue ~now:(Sysconf.monotonic_time ()) with
     | Some (cid, w) ->
       sync_depth ();
       respond_cid cid (execute st w);
@@ -671,6 +893,30 @@ let serve ~socket ?(jobs = 1) ?cache ?default_timeout ?(idle_reap = 30.)
     | None -> sync_depth ()
   in
   drain_queue ();
+  (* Responses are buffered per connection: give slow readers a bounded
+     window to take delivery before the daemon dismantles itself. *)
+  let flush_deadline = Sysconf.monotonic_time () +. 5.0 in
+  let rec final_flush () =
+    let wfds =
+      Hashtbl.fold
+        (fun fd conn acc -> if pending conn > 0 then fd :: acc else acc)
+        conns []
+    in
+    let left = flush_deadline -. Sysconf.monotonic_time () in
+    if wfds <> [] && left > 0.0 then
+      match Unix.select [] wfds [] left with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> final_flush ()
+      | exception Unix.Unix_error _ -> ()
+      | _, writable, _ ->
+        List.iter
+          (fun fd ->
+            match Hashtbl.find_opt conns fd with
+            | Some conn -> flush_conn conn
+            | None -> ())
+          writable;
+        final_flush ()
+  in
+  final_flush ();
   Option.iter (fun c -> ignore (Cache.flush c)) st.cache;
   Option.iter
     (fun path ->

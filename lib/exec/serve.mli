@@ -23,9 +23,11 @@
     - [shutdown] — acknowledge, then drain and exit.
 
     [check] and [lint] may additionally carry [priority] (int, higher is
-    dispatched sooner; default 0) and [deadline_ms] (max milliseconds the
-    request will wait in the admission queue before being answered
-    [expired]).
+    dispatched sooner; default 0; clamped to
+    [Admission.min_priority..Admission.max_priority] since it is
+    client-supplied, and aged while queued so no priority can starve the
+    rest) and [deadline_ms] (max milliseconds the request will wait in the
+    admission queue before being answered [expired]).
 
     {2 Overload behavior}
 
@@ -38,15 +40,22 @@
     bypass the queue and are answered at read time, so the daemon stays
     observable however deep the backlog is.
 
-    Hostile connections are bounded too: a frame larger than the
-    configured maximum gets [error_code = "frame_too_large"] and the
-    connection is closed; a connection that starts a frame and does not
-    finish it within the read deadline is reaped
-    ([error_code = "read_timeout"]). Worker memory is capped via
-    setrlimit(RLIMIT_AS), so a ballooning check is a classified
-    resource-limit verdict, not a daemon (or host) casualty. Stable
-    counters [serve.shed] / [serve.expired] / [serve.frames_oversized] /
-    [serve.conns_reaped] record every degradation in [--stats] and the
+    Hostile connections are bounded too: the connection count is capped
+    ([max_conns], kept below select's FD_SETSIZE) — a connection beyond
+    the cap is answered with a retryable [overloaded] error and closed at
+    accept time; a frame larger than the configured maximum gets
+    [error_code = "frame_too_large"] and the connection is closed; a
+    connection that starts a frame and does not finish it within the read
+    deadline is reaped ([error_code = "read_timeout"]). Client fds are
+    nonblocking with per-connection write buffers drained via select, so
+    a client that stops {e reading} cannot stall the loop either: its
+    buffered output is bounded, and a connection whose pending output
+    makes no progress for the read deadline is reaped without ceremony.
+    Worker memory is capped via setrlimit(RLIMIT_AS), so a ballooning
+    check is a classified resource-limit verdict, not a daemon (or host)
+    casualty. Stable counters [serve.shed] / [serve.expired] /
+    [serve.frames_oversized] / [serve.conns_reaped] /
+    [serve.conns_rejected] record every degradation in [--stats] and the
     metrics JSON.
 
     Failure semantics: a malformed line gets an [error] response and the
@@ -66,6 +75,7 @@ val make_state :
   ?cache:Cache.t ->
   ?default_timeout:float ->
   ?max_queue:int ->
+  ?max_conns:int ->
   ?max_worker_mem:int ->
   jobs:int ->
   unit ->
@@ -75,6 +85,7 @@ val make_state :
     [timeout] param. [after_fork] is installed into the pool (the socket
     loop uses it to close its listening and client descriptors inside
     workers). [max_queue] (default 64) sizes the admission queue reported
+    by [status]; [max_conns] (default 512) is the connection cap reported
     by [status]; [max_worker_mem] (MiB, default 0 = uncapped) is the
     per-worker RLIMIT_AS cap. Exposed separately from {!serve} so unit
     tests can drive {!handle_line} without a socket. *)
@@ -100,6 +111,7 @@ val serve :
   ?idle_reap:float ->
   ?metrics_out:string ->
   ?max_queue:int ->
+  ?max_conns:int ->
   ?max_frame_bytes:int ->
   ?read_deadline:float ->
   ?queue_deadline:float ->
@@ -108,19 +120,25 @@ val serve :
   int
 (** Run the daemon on [socket] until [shutdown] or SIGTERM/SIGINT; returns
     the process exit code (0 on a graceful drain). A pre-existing socket
-    path is probed with a connect before anything else: refused means the
-    previous daemon is dead and the path is reclaimed; accepted means a
-    live daemon owns it and this process refuses to steal the socket
-    (exits 2, naming the owner's pid when a [status] call yields one
-    within a bounded wait).
+    path is probed with a nonblocking, bounded connect before anything
+    else: ECONNREFUSED/ENOENT means the previous daemon is dead and the
+    path is reclaimed; an accepted (or backlogged) connect means a live
+    daemon owns it and this process refuses to steal the socket (exits 2,
+    naming the owner's pid when a [status] call yields one within a
+    bounded wait); any other probe failure proves nothing, so the daemon
+    also refuses to start rather than clobber a possibly-live socket.
 
     [idle_reap] (default 30 s, measured on the monotonic clock) retires
     pool workers and flushes the cache after that much request silence;
     the next request respawns them. [metrics_out] writes the {!Obs}
     metrics JSON at drain time. [max_queue] (default 64) bounds the
-    admission queue; [max_frame_bytes] (default 8 MiB) bounds one request
-    line; [read_deadline] (default 30 s) bounds how long a started frame
-    may stay unfinished; [queue_deadline] (seconds, default none) is a
+    admission queue; [max_conns] (default 512, clamped below select's
+    FD_SETSIZE) bounds concurrent connections — beyond it, accepts are
+    answered with a retryable [overloaded] error and closed;
+    [max_frame_bytes] (default 8 MiB) bounds one request line;
+    [read_deadline] (default 30 s) bounds how long a started frame may
+    stay unfinished and how long pending response bytes may go
+    undelivered; [queue_deadline] (seconds, default none) is a
     server-wide cap on queue wait, combined with each request's own
     [deadline_ms] by taking the tighter of the two; [max_worker_mem]
     (MiB, default 0 = uncapped) caps each worker's address space. *)

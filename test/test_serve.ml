@@ -374,9 +374,9 @@ let submit_ok q ~client ?(priority = 0) ?deadline payload =
   | Admission.Shed _ -> Alcotest.failf "unexpected shed of %s" payload
   | Admission.Expired -> Alcotest.failf "unexpected expiry of %s" payload
 
-let drain_order q =
+let drain_order ?(now = 0.0) q =
   let rec go acc =
-    match Admission.next q with
+    match Admission.next q ~now with
     | Some (_, p) -> go (p :: acc)
     | None -> List.rev acc
   in
@@ -405,6 +405,50 @@ let test_admission_priority () =
   Alcotest.(check (list string))
     "priority preempts arrival and fairness"
     [ "high"; "low1"; "low2" ] (drain_order q)
+
+let test_admission_priority_clamp () =
+  (* priority is client-supplied: an absurd value buys no more precedence
+     than max_priority, so the flood still round-robins with a client at
+     the (clamped-equal) top level instead of starving it. *)
+  let q = Admission.create ~max_queue:16 in
+  submit_ok q ~client:1 ~priority:1_000_000 "A1";
+  submit_ok q ~client:1 ~priority:1_000_000 "A2";
+  submit_ok q ~client:1 ~priority:1_000_000 "A3";
+  submit_ok q ~client:2 ~priority:Admission.max_priority "B1";
+  Alcotest.(check (list string))
+    "million-priority flood clamps to max and round-robins"
+    [ "A1"; "B1"; "A2"; "A3" ]
+    (drain_order q)
+
+let test_admission_aging () =
+  (* A queued request gains one effective level per second waited, so even
+     a continuous max-priority flood cannot starve the lowest priority. *)
+  let q = Admission.create ~max_queue:16 in
+  (match
+     Admission.submit q ~client:1 ~priority:Admission.min_priority
+       ~deadline:None ~now:0.0 "patient"
+   with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ | Admission.Expired -> Alcotest.fail "unexpected refusal");
+  (match
+     Admission.submit q ~client:2 ~priority:Admission.max_priority
+       ~deadline:None ~now:25.0 "vip"
+   with
+  | Admission.Admitted -> ()
+  | Admission.Shed _ | Admission.Expired -> Alcotest.fail "unexpected refusal");
+  (* After 25 s queued, patient's effective priority (-10 + 25) beats a
+     fresh +10. *)
+  Alcotest.(check (list string))
+    "aged low-priority request outranks a fresh max-priority one"
+    [ "patient"; "vip" ]
+    (drain_order ~now:25.0 q);
+  (* Without the wait, priority order holds. *)
+  let q2 = Admission.create ~max_queue:16 in
+  submit_ok q2 ~client:1 ~priority:Admission.min_priority "low";
+  submit_ok q2 ~client:2 ~priority:Admission.max_priority "high";
+  Alcotest.(check (list string))
+    "fresh requests dispatch by priority" [ "high"; "low" ]
+    (drain_order q2)
 
 let test_admission_shed () =
   let q = Admission.create ~max_queue:2 in
@@ -594,6 +638,39 @@ let test_slow_loris_reap () =
   | None -> Alcotest.fail "idle connection was wrongly reaped");
   Unix.close idle
 
+let test_connection_cap () =
+  with_corpus [] @@ fun dir _files ->
+  let socket = Filename.concat dir "d.sock" in
+  with_daemon ~socket (fun () -> Serve.serve ~socket ~jobs:1 ~max_conns:2 ())
+  @@ fun () ->
+  let a = raw_connect socket in
+  let b = raw_connect socket in
+  (* A status round-trip on [a] proves both accepts are registered, so the
+     third connect below is deterministically over the cap. *)
+  send_raw a "{\"id\":1,\"method\":\"status\"}\n";
+  (match recv_line a with
+  | Some _ -> ()
+  | None -> Alcotest.fail "status handshake failed");
+  let c = raw_connect socket in
+  (match recv_line c with
+  | Some resp ->
+    Alcotest.(check bool) "retryable structured refusal" true
+      (contains resp "overloaded");
+    Alcotest.(check bool) "refusal carries a retry hint" true
+      (contains resp "retry_after_ms")
+  | None -> Alcotest.fail "no refusal on the over-cap connection");
+  Alcotest.(check bool) "over-cap connection closed" true (recv_eof c);
+  Unix.close c;
+  (* The accepted connections are unharmed, and the refusal was counted. *)
+  send_raw b "{\"id\":2,\"method\":\"status\"}\n";
+  (match recv_line b with
+  | Some resp ->
+    Alcotest.(check bool) "accepted conns survive; rejection counted" true
+      (contains resp "\"conns_rejected\":1")
+  | None -> Alcotest.fail "accepted connection wedged by the refusal");
+  Unix.close a;
+  Unix.close b
+
 let test_queue_full_shed () =
   with_corpus [ Valve ] @@ fun dir files ->
   let socket = Filename.concat dir "d.sock" in
@@ -777,6 +854,8 @@ let () =
         [
           Alcotest.test_case "per-client round-robin" `Quick test_admission_fairness;
           Alcotest.test_case "priority levels" `Quick test_admission_priority;
+          Alcotest.test_case "priority clamped" `Quick test_admission_priority_clamp;
+          Alcotest.test_case "queued requests age" `Quick test_admission_aging;
           Alcotest.test_case "bounded queue sheds" `Quick test_admission_shed;
           Alcotest.test_case "deadline expiry" `Quick test_admission_expiry;
           Alcotest.test_case "disconnected client drops" `Quick test_admission_drop_client;
@@ -785,6 +864,7 @@ let () =
         [
           Alcotest.test_case "oversized frame" `Quick test_oversized_frame;
           Alcotest.test_case "slow-loris reap" `Quick test_slow_loris_reap;
+          Alcotest.test_case "connection cap" `Quick test_connection_cap;
           Alcotest.test_case "queue-full shed" `Quick test_queue_full_shed;
           Alcotest.test_case "queued-deadline expiry" `Quick test_queued_deadline_expiry;
           Alcotest.test_case "worker memory cap" `Quick test_worker_mem_cap;
